@@ -1,0 +1,186 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   A. ED/DTW pairing rule — index pairing (ours) vs nearest-neighbour pairing.
+//      Index pairing is what makes Table 4's "identical input" rows exactly zero;
+//      nearest-neighbour pairing under-reports distance and rewards memorization.
+//   B. Normalization before vs after windowing (the paper's L2 discrepancy note).
+//   C. ACF-chosen window length vs the fixed 24-step window the paper critiques.
+//   D. DS variance vs number of evaluation repeats (the §6.3 robustness concern).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dataset.h"
+#include "core/measures.h"
+#include "core/preprocess.h"
+#include "data/simulators.h"
+#include "distance/distance.h"
+#include "io/table.h"
+#include "signal/acf.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using tsg::core::Dataset;
+
+double NearestNeighborEd(const Dataset& real, const Dataset& gen) {
+  double total = 0.0;
+  for (int64_t i = 0; i < gen.num_samples(); ++i) {
+    double best = 1e300;
+    for (int64_t j = 0; j < real.num_samples(); ++j) {
+      best = std::min(best,
+                      tsg::distance::EuclideanDistance(gen.sample(i),
+                                                       real.sample(j)));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(gen.num_samples());
+}
+
+void AblationPairing(const tsg::bench::BenchConfig& config) {
+  std::printf("\n--- Ablation A: ED pairing rule ---\n");
+  const Dataset real("sine", tsg::data::SineBenchmark(96, 24, 5, config.seed));
+  const Dataset resampled("sine",
+                          tsg::data::SineBenchmark(96, 24, 5, config.seed + 1));
+  // A "memorizing" generator: returns the first real sample 96 times.
+  Dataset memorizer;
+  for (int i = 0; i < 96; ++i) memorizer.Add(real.sample(0));
+
+  tsg::core::MeasureContext ctx;
+  ctx.real = &real;
+  ctx.real_test = &real;
+  tsg::core::EuclideanDistanceMeasure ed;
+
+  tsg::io::Table table({"Generated set", "ED (index-paired, ours)", "ED (NN-paired)"});
+  for (const auto& [name, gen] :
+       std::vector<std::pair<std::string, const Dataset*>>{
+           {"identical", &real}, {"resampled", &resampled},
+           {"memorizer", &memorizer}}) {
+    ctx.generated = gen;
+    table.AddRow({name, tsg::io::Table::Num(ed.Evaluate(ctx), 3),
+                  tsg::io::Table::Num(NearestNeighborEd(real, *gen), 3)});
+  }
+  table.Print();
+  std::printf("NN pairing scores the single-sample memorizer nearly perfect (~0) —\n"
+              "index pairing penalizes it; identical input is 0 under both.\n");
+}
+
+void AblationNormalization(const tsg::bench::BenchConfig& config) {
+  std::printf("\n--- Ablation B: normalize before vs after windowing ---\n");
+  tsg::data::SimulatorOptions sim;
+  sim.scale = config.dataset_scale();
+  sim.seed = config.seed;
+  const tsg::data::RawSeries raw = tsg::data::Simulate(tsg::data::DatasetId::kStock,
+                                                       sim);
+  tsg::core::PreprocessOptions before, after;
+  before.normalize_before_windowing = true;
+  after.normalize_before_windowing = false;
+  const auto pre_before = tsg::core::Preprocess(raw, before);
+  const auto pre_after = tsg::core::Preprocess(raw, after);
+  const auto mb = tsg::stats::ComputeMoments(pre_before.train.AllValues());
+  const auto ma = tsg::stats::ComputeMoments(pre_after.train.AllValues());
+  tsg::io::Table table({"Pipeline", "mean", "std", "skewness"});
+  table.AddRow({"normalize-then-window", tsg::io::Table::Num(mb.mean, 4),
+                tsg::io::Table::Num(mb.stddev, 4), tsg::io::Table::Num(mb.skewness,
+                                                                       4)});
+  table.AddRow({"window-then-normalize", tsg::io::Table::Num(ma.mean, 4),
+                tsg::io::Table::Num(ma.stddev, 4), tsg::io::Table::Num(ma.skewness,
+                                                                       4)});
+  table.Print();
+  std::printf("Identical here by construction (same global min/max); the ordering\n"
+              "matters once splits are normalized separately — TSGBench pins one\n"
+              "order so results are comparable across papers.\n");
+}
+
+void AblationWindowLength(const tsg::bench::BenchConfig& config) {
+  std::printf("\n--- Ablation C: ACF-chosen window vs fixed 24 ---\n");
+  // A series with a 40-step period: the fixed 24-step window cannot contain one
+  // full period; the ACF rule recovers it.
+  tsg::linalg::Matrix series(800, 1);
+  tsg::Rng rng(config.seed);
+  for (int64_t t = 0; t < 800; ++t) {
+    series(t, 0) = std::sin(2.0 * M_PI * t / 40.0) + 0.1 * rng.Normal();
+  }
+  std::vector<double> col(800);
+  for (int64_t t = 0; t < 800; ++t) col[static_cast<size_t>(t)] = series(t, 0);
+  const int64_t acf_l = tsg::signal::SuggestWindowLength(col, 8, 128);
+
+  auto coverage = [&](int64_t l) {
+    // Fraction of a full period a window covers (capped at 1).
+    return std::min(1.0, static_cast<double>(l) / 40.0);
+  };
+  tsg::io::Table table({"Rule", "window l", "period coverage"});
+  table.AddRow({"fixed 24 (prior practice)", "24", tsg::io::Table::Num(coverage(24),
+                                                                       2)});
+  table.AddRow({"ACF-chosen (TSGBench)", std::to_string(acf_l),
+                tsg::io::Table::Num(coverage(acf_l), 2)});
+  table.Print();
+}
+
+void AblationDtwStrategy(const tsg::bench::BenchConfig& config) {
+  std::printf("\n--- Ablation E: dependent vs independent multivariate DTW ---\n");
+  // Per the Shokoohi-Yekta et al. study the paper cites, the better strategy is
+  // data-dependent: dimensions warping together favour dependent DTW; dimensions
+  // drifting separately favour independent DTW.
+  const Dataset real("sine", tsg::data::SineBenchmark(48, 24, 4, config.seed));
+  const Dataset gen("sine", tsg::data::SineBenchmark(48, 24, 4, config.seed + 1));
+  tsg::core::MeasureContext ctx;
+  ctx.real = &real;
+  ctx.generated = &gen;
+  const double dep = tsg::core::DtwDistanceMeasure().Evaluate(ctx);
+  const double indep =
+      tsg::core::DtwDistanceMeasure(-1,
+                                    tsg::core::DtwDistanceMeasure::Strategy::
+                                        kIndependent)
+          .Evaluate(ctx);
+  tsg::io::Table table({"Strategy", "mean DTW"});
+  table.AddRow({"dependent (TSGBench default)", tsg::io::Table::Num(dep, 3)});
+  table.AddRow({"independent", tsg::io::Table::Num(indep, 3)});
+  table.Print();
+  std::printf("Independent never exceeds dependent (larger alignment family); the\n"
+              "benchmark defaults to dependent DTW as the stricter comparison.\n");
+}
+
+void AblationDsVariance(const tsg::bench::BenchConfig& config) {
+  std::printf("\n--- Ablation D: DS variance vs repeats ---\n");
+  const Dataset real("sine", tsg::data::SineBenchmark(64, 24, 5, config.seed));
+  const Dataset gen("sine", tsg::data::SineBenchmark(64, 24, 5, config.seed + 1));
+  tsg::core::MeasureContext ctx;
+  ctx.real = &real;
+  ctx.real_test = &real;
+  ctx.generated = &gen;
+
+  tsg::core::DiscriminativeScore ds;
+  tsg::core::MarginalDistributionDifference mdd;
+  tsg::io::Table table({"Repeats", "DS mean", "DS std", "MDD std (deterministic)"});
+  for (int repeats : {2, 4, 8}) {
+    std::vector<double> ds_values, mdd_values;
+    for (int r = 0; r < repeats; ++r) {
+      ctx.seed = config.seed + 17 * static_cast<uint64_t>(r + 1);
+      ds_values.push_back(ds.Evaluate(ctx));
+      mdd_values.push_back(mdd.Evaluate(ctx));
+    }
+    const auto ds_summary = tsg::stats::Summarize(ds_values);
+    const auto mdd_summary = tsg::stats::Summarize(mdd_values);
+    table.AddRow({std::to_string(repeats), tsg::io::Table::Num(ds_summary.mean, 4),
+                  tsg::io::Table::Num(ds_summary.std, 4),
+                  tsg::io::Table::Num(mdd_summary.std, 6)});
+  }
+  table.Print();
+  std::printf("DS carries training noise at every repeat count; the deterministic\n"
+              "measures have literally zero spread — the paper's §6.3 point.\n");
+}
+
+}  // namespace
+
+int main() {
+  const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
+  std::printf("=== Ablation benches (design choices) ===\n");
+  AblationPairing(config);
+  AblationNormalization(config);
+  AblationWindowLength(config);
+  AblationDtwStrategy(config);
+  AblationDsVariance(config);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figure 6: t-SNE and distribution-plot visualizations of real vs
+// generated series. For each (method, dataset) pair the bench emits the exact data
+// the figure plots (2-D t-SNE coordinates and KDE curves, as CSV under <out>/fig6_*)
+// and prints two scalar summaries so the figure has checkable numbers:
+//   overlap — fraction of t-SNE neighbours from the other set (0.5 = ideal mixing);
+//   kdeL1   — L1 gap between the real and generated value densities (0 = ideal).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/visualize.h"
+#include "io/table.h"
+#include "methods/factory.h"
+
+int main() {
+  const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
+
+  // The paper's Figure 6 shows a representative subset; we use the datasets its
+  // discussion dwells on (DLG's bimodality, Exchange's multi-peak marginals, Stock,
+  // HAPT's distribution shift, Energy) and all ten methods at scale >= 2.
+  const std::vector<tsg::data::DatasetId> datasets = {
+      tsg::data::DatasetId::kDlg, tsg::data::DatasetId::kStock,
+      tsg::data::DatasetId::kExchange, tsg::data::DatasetId::kHapt};
+  std::vector<std::string> method_names = {"RGAN", "TimeGAN", "TimeVAE", "COSCI-GAN",
+                                           "LS4"};
+  if (config.scale >= 2.0) method_names = tsg::methods::AllMethodNames();
+
+  tsg::core::FitOptions fit;
+  fit.epoch_scale = config.epoch_scale();
+  fit.seed = config.seed;
+
+  tsg::core::VisualizeOptions vis_options;
+  vis_options.max_samples_per_set = config.scale >= 2.0 ? 200 : 100;
+  vis_options.tsne.iterations = config.scale >= 2.0 ? 400 : 200;
+  vis_options.tsne.seed = config.seed;
+
+  std::printf("=== Figure 6: t-SNE + distribution plots (CSV in %s) ===\n\n",
+              config.out_dir.c_str());
+  tsg::io::Table table({"Dataset", "Method", "t-SNE overlap (0.5=ideal)",
+                        "KDE L1 (0=ideal)"});
+
+  for (tsg::data::DatasetId id : datasets) {
+    const tsg::core::Preprocessed pre = tsg::bench::PrepareDataset(id, config);
+    for (const std::string& name : method_names) {
+      auto method = tsg::methods::CreateMethod(name);
+      TSG_CHECK(method.ok());
+      if (!method.value()->Fit(pre.train, fit).ok()) continue;
+      tsg::Rng rng(config.seed ^ 0xF16);
+      tsg::core::Dataset generated(
+          name, method.value()->Generate(vis_options.max_samples_per_set, rng));
+      const tsg::core::VisualizationResult vis =
+          tsg::core::Visualize(pre.train, generated, vis_options);
+      const std::string prefix = config.out_dir + "/fig6_" + pre.train.name() + "_" +
+                                 name;
+      tsg::core::WriteVisualization(prefix, vis).ok();
+      table.AddRow({pre.train.name(), name, tsg::io::Table::Num(vis.tsne_overlap, 3),
+                    tsg::io::Table::Num(vis.kde_l1, 3)});
+      std::fprintf(stderr, "[fig6] %s / %s done\n", pre.train.name().c_str(),
+                   name.c_str());
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpected shape (paper): VAE-family methods, COSCI-GAN and RTSGAN show the\n"
+      "best cloud mixing and smallest density gaps; RGAN can match a single\n"
+      "distribution (small KDE L1 on some sets) yet separates under t-SNE; methods\n"
+      "struggle most on DLG's bimodal and Exchange's multi-peak marginals.\n");
+  return 0;
+}

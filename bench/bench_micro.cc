@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the substrates the paper's experiments
+// stand on: dense kernels, autodiff step cost, recurrent cells, FFT, the distance
+// measures, and one full training step per representative TSG method. These are the
+// numbers behind the Figure 5 training-time row.
+
+#include <benchmark/benchmark.h>
+
+#include "ag/ops.h"
+#include "base/rng.h"
+#include "core/dataset.h"
+#include "core/method.h"
+#include "data/simulators.h"
+#include "distance/distance.h"
+#include "embed/tsne.h"
+#include "linalg/decomp.h"
+#include "linalg/matrix.h"
+#include "methods/factory.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+#include "signal/fft.h"
+
+namespace {
+
+using tsg::Rng;
+using tsg::linalg::Matrix;
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  rng.FillNormal(m.data(), m.size());
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsg::linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Matrix a = RandomMatrix(n, n, 3);
+  const Matrix spd = tsg::linalg::MatMulTransA(a, a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsg::linalg::SymmetricEigen(spd));
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(16)->Arg(32);
+
+void BM_Fft(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  std::vector<tsg::signal::Complex> x(static_cast<size_t>(n));
+  for (auto& v : x) v = tsg::signal::Complex(rng.Normal(), rng.Normal());
+  for (auto _ : state) {
+    auto copy = x;
+    tsg::signal::Fft(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Fft)->Arg(128)->Arg(125)->Arg(192);
+
+void BM_GruCellStep(benchmark::State& state) {
+  const int64_t batch = 32, n = 8, hidden = state.range(0);
+  Rng rng(5);
+  tsg::nn::GruCell cell(n, hidden, rng);
+  const tsg::ag::Var x = tsg::ag::Var::Constant(RandomMatrix(batch, n, 6));
+  for (auto _ : state) {
+    tsg::ag::Var h = cell.InitialState(batch);
+    benchmark::DoNotOptimize(cell.Forward(x, h));
+  }
+}
+BENCHMARK(BM_GruCellStep)->Arg(16)->Arg(32);
+
+void BM_AutodiffTrainingStep(benchmark::State& state) {
+  // One forward+backward+Adam step of a 2-layer GRU over a 24-step sequence.
+  Rng rng(7);
+  tsg::nn::GruStack stack(6, 24, 2, rng);
+  tsg::nn::Dense head(24, 6, rng);
+  tsg::nn::Adam opt(tsg::nn::CollectParameters({&stack, &head}), 1e-3);
+  std::vector<tsg::ag::Var> steps;
+  for (int t = 0; t < 24; ++t) {
+    steps.push_back(tsg::ag::Var::Constant(RandomMatrix(32, 6, 100 + t)));
+  }
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    const auto outs = stack.Forward(steps);
+    tsg::ag::Var loss = tsg::ag::MseLoss(head.Forward(outs.back()), steps[0]);
+    tsg::ag::Backward(loss);
+    opt.Step();
+  }
+}
+BENCHMARK(BM_AutodiffTrainingStep);
+
+void BM_Dtw(benchmark::State& state) {
+  const int64_t l = state.range(0);
+  const Matrix a = RandomMatrix(l, 6, 8);
+  const Matrix b = RandomMatrix(l, 6, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsg::distance::DtwDistance(a, b));
+  }
+}
+BENCHMARK(BM_Dtw)->Arg(24)->Arg(125)->Arg(192);
+
+void BM_EuclideanDistance(benchmark::State& state) {
+  const Matrix a = RandomMatrix(192, 11, 10);
+  const Matrix b = RandomMatrix(192, 11, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsg::distance::EuclideanDistance(a, b));
+  }
+}
+BENCHMARK(BM_EuclideanDistance);
+
+void BM_FrechetDistance(benchmark::State& state) {
+  const Matrix a = RandomMatrix(256, 16, 12);
+  const Matrix b = RandomMatrix(256, 16, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsg::distance::FrechetDistance(a, b));
+  }
+}
+BENCHMARK(BM_FrechetDistance);
+
+void BM_Tsne(benchmark::State& state) {
+  const Matrix data = RandomMatrix(80, 32, 14);
+  tsg::embed::TsneOptions options;
+  options.iterations = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsg::embed::Tsne(data, options));
+  }
+}
+BENCHMARK(BM_Tsne);
+
+/// One abbreviated Fit per method on a tiny dataset: the relative cost ordering is
+/// the Figure 5 training-time story (VAE/SSM fast, GANs slower, GT-GAN slowest).
+void BM_MethodFit(benchmark::State& state, const std::string& name) {
+  const tsg::core::Dataset train(
+      "micro", tsg::data::SineBenchmark(32, 16, 3, /*seed=*/21));
+  tsg::core::FitOptions options;
+  options.epoch_scale = 0.05;
+  options.batch_size = 16;
+  for (auto _ : state) {
+    auto method = tsg::methods::CreateMethod(name);
+    benchmark::DoNotOptimize(method.value()->Fit(train, options));
+  }
+}
+BENCHMARK_CAPTURE(BM_MethodFit, RGAN, std::string("RGAN"));
+BENCHMARK_CAPTURE(BM_MethodFit, TimeGAN, std::string("TimeGAN"));
+BENCHMARK_CAPTURE(BM_MethodFit, TimeVAE, std::string("TimeVAE"));
+BENCHMARK_CAPTURE(BM_MethodFit, LS4, std::string("LS4"));
+BENCHMARK_CAPTURE(BM_MethodFit, FourierFlow, std::string("FourierFlow"));
+BENCHMARK_CAPTURE(BM_MethodFit, GT_GAN, std::string("GT-GAN"));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+// Reproduces Table 2: the taxonomy of popular TSG methods with backbone models and
+// specialties, marking the ten methods (A1-A10) this benchmark evaluates.
+
+#include <cstdio>
+
+#include "core/taxonomy.h"
+#include "io/table.h"
+
+int main() {
+  std::printf("=== Table 2: Summary of popular TSG methods ===\n\n");
+  tsg::io::Table table({"Year", "Method", "Model", "Specialty", "Evaluated"});
+  for (const auto& entry : tsg::core::Taxonomy()) {
+    table.AddRow({std::to_string(entry.year), entry.method, entry.model,
+                  entry.specialty, entry.evaluated ? "yes (A-series)" : ""});
+  }
+  table.Print();
+  std::printf("\n%zu methods total; 10 evaluated by TSGBench.\n",
+              tsg::core::Taxonomy().size());
+  return 0;
+}

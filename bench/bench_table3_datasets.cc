@@ -1,0 +1,35 @@
+// Reproduces Table 3: statistics of the ten benchmark datasets. Prints the paper's
+// (R, l, N, domain) values alongside the values measured from this repository's
+// simulated datasets after the §4.1 preprocessing pipeline, at the current scale.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "io/table.h"
+#include "stats/descriptive.h"
+
+int main() {
+  const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
+  std::printf("=== Table 3: dataset statistics (scale=%.2f) ===\n\n", config.scale);
+
+  tsg::io::Table table({"Dataset", "R(paper)", "R(sim)", "l(paper)", "l(sim)",
+                        "N(paper)", "N(sim)", "Domain", "value mean", "value std"});
+  for (tsg::data::DatasetId id : tsg::data::AllDatasets()) {
+    const tsg::data::PaperStats paper = tsg::data::GetPaperStats(id);
+    const tsg::core::Preprocessed pre = tsg::bench::PrepareDataset(id, config);
+    const int64_t r_sim = pre.train.num_samples() + pre.test.num_samples();
+    const auto values = pre.train.AllValues();
+    const auto moments = tsg::stats::ComputeMoments(values);
+    table.AddRow({tsg::data::DatasetName(id), std::to_string(paper.r),
+                  std::to_string(r_sim), std::to_string(paper.l),
+                  std::to_string(pre.train.seq_len()), std::to_string(paper.n),
+                  std::to_string(pre.train.num_features()), paper.domain,
+                  tsg::io::Table::Num(moments.mean, 3),
+                  tsg::io::Table::Num(moments.stddev, 3)});
+  }
+  table.Print();
+  std::printf("\nSimulated R is the paper's R scaled by %.3f (clamped to >= 128);\n"
+              "l and N match Table 3 exactly. TSGBENCH_SCALE=50 reproduces full R.\n",
+              config.dataset_scale());
+  return 0;
+}

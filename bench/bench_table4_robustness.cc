@@ -1,0 +1,79 @@
+// Reproduces Table 4: the §6.3 robustness test for the evaluation measures.
+// Synthetic sine data x[i][j] = sin(2*pi*eta*j + theta) with N = 5 is evaluated at
+// l = 24 and l = 125 under two input scenarios:
+//   Identical        — generated == original: every ideal measure should be ~0;
+//   Random Sampling  — an independent draw from the same sine family.
+// The paper's finding: feature-based, distance-based measures and C-FID react
+// correctly, while DS/PS are noisy (high std) and can even score the random draw
+// *better* than the identical input at l = 125.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dataset.h"
+#include "core/harness.h"
+#include "data/simulators.h"
+#include "io/table.h"
+
+namespace {
+
+using tsg::core::Dataset;
+
+void RunShape(tsg::core::Harness& harness, int64_t count, int64_t l, int64_t n,
+              uint64_t seed, tsg::io::Table& table) {
+  const Dataset original("sine", tsg::data::SineBenchmark(count, l, n, seed));
+  const Dataset resampled("sine", tsg::data::SineBenchmark(count, l, n, seed + 1));
+  const std::string shape = "(" + std::to_string(count) + "," + std::to_string(l) +
+                            "," + std::to_string(n) + ")";
+  const std::string key = "sine_l" + std::to_string(l);
+
+  for (const bool identical : {true, false}) {
+    const Dataset& generated = identical ? original : resampled;
+    const auto scores =
+        harness.EvaluateGenerated(original, original, generated, key);
+    std::vector<std::string> row = {identical ? "Identical" : "RandomSampling",
+                                    shape};
+    for (const auto& [name, summary] : scores) {
+      (void)name;
+      row.push_back(tsg::io::Table::MeanStd(summary.mean, summary.std, 3));
+    }
+    table.AddRow(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
+  // The paper uses 10,000 series; scale it down for quick runs.
+  const int64_t count =
+      std::min<int64_t>(10000, static_cast<int64_t>(400 * config.scale));
+
+  tsg::core::HarnessOptions options;
+  options.stochastic_repeats = config.stochastic_repeats();
+  options.max_eval_samples = count;
+  options.include_ps_entire = true;
+  options.embedder.epochs = std::max(4, static_cast<int>(8 * config.scale));
+  options.seed = config.seed;
+  tsg::core::Harness harness(options);
+
+  std::printf("=== Table 4: robustness test on the evaluation measures "
+              "(%lld series per cell) ===\n\n",
+              static_cast<long long>(count));
+
+  std::vector<std::string> header = {"Input", "Shape(R,l,N)"};
+  for (const auto& measure : tsg::core::DefaultMeasureSuite(true)) {
+    header.push_back(measure->name());
+  }
+  tsg::io::Table table(header);
+  RunShape(harness, count, 24, 5, config.seed, table);
+  RunShape(harness, count, 125, 5, config.seed + 100, table);
+  table.Print();
+
+  std::printf(
+      "\nExpected shape (paper): Identical rows ~0 everywhere except the TSTR\n"
+      "measures (DS/PS), whose post-hoc training noise keeps them nonzero; on\n"
+      "RandomSampling the deterministic measures move well away from 0 while DS\n"
+      "stays small with a large relative std — the paper's robustness critique.\n");
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.h"
+#include "methods/factory.h"
+
+namespace tsg::bench {
+
+BenchConfig LoadConfig() {
+  BenchConfig config;
+  if (const char* scale = std::getenv("TSGBENCH_SCALE")) {
+    config.scale = std::max(0.05, std::atof(scale));
+  }
+  if (const char* seed = std::getenv("TSGBENCH_SEED")) {
+    config.seed = static_cast<uint64_t>(std::atoll(seed));
+  }
+  if (const char* out = std::getenv("TSGBENCH_OUT")) {
+    config.out_dir = out;
+  }
+  std::filesystem::create_directories(config.out_dir);
+  return config;
+}
+
+core::Preprocessed PrepareDataset(data::DatasetId id, const BenchConfig& config) {
+  data::SimulatorOptions sim;
+  const data::PaperStats paper = data::GetPaperStats(id);
+  // Long-sequence datasets cost ~l per training step; cap their window count so the
+  // default grid finishes in minutes while the R ordering across datasets survives.
+  const double window_cap = (paper.l >= 100 ? 176.0 : 352.0) * config.scale;
+  sim.scale = std::min(config.dataset_scale(),
+                       window_cap / static_cast<double>(paper.r));
+  sim.seed = config.seed;
+  const data::RawSeries raw = data::Simulate(id, sim);
+  core::PreprocessOptions pre;
+  pre.shuffle_seed = config.seed ^ 0x5481;
+  return core::Preprocess(raw, pre);
+}
+
+namespace {
+
+std::string CachePath(const BenchConfig& config) {
+  std::ostringstream os;
+  os << config.out_dir << "/grid_cells_s" << config.scale << "_r" << config.seed
+     << ".csv";
+  return os.str();
+}
+
+std::vector<GridRow> ReadCache(const std::string& path) {
+  std::vector<GridRow> rows;
+  std::ifstream in(path);
+  if (!in) return rows;
+  std::string line;
+  std::getline(in, line);  // Header.
+  while (std::getline(in, line)) {
+    std::stringstream ss(line);
+    GridRow row;
+    std::string mean, stddev, fit;
+    if (!std::getline(ss, row.method, ',') || !std::getline(ss, row.dataset, ',') ||
+        !std::getline(ss, row.measure, ',') || !std::getline(ss, mean, ',') ||
+        !std::getline(ss, stddev, ',') || !std::getline(ss, fit, ',')) {
+      return {};
+    }
+    row.mean = std::atof(mean.c_str());
+    row.stddev = std::atof(stddev.c_str());
+    row.fit_seconds = std::atof(fit.c_str());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void WriteCache(const std::string& path, const std::vector<GridRow>& rows) {
+  std::vector<std::vector<std::string>> lines;
+  lines.push_back({"method", "dataset", "measure", "mean", "stddev", "fit_seconds"});
+  for (const GridRow& row : rows) {
+    lines.push_back({row.method, row.dataset, row.measure, std::to_string(row.mean),
+                     std::to_string(row.stddev), std::to_string(row.fit_seconds)});
+  }
+  const Status s = io::WriteCsvRows(path, lines);
+  if (!s.ok()) std::fprintf(stderr, "cache write failed: %s\n", s.ToString().c_str());
+}
+
+bool CacheCovers(const std::vector<GridRow>& rows,
+                 const std::vector<std::string>& methods,
+                 const std::vector<data::DatasetId>& datasets) {
+  for (const std::string& method : methods) {
+    for (data::DatasetId id : datasets) {
+      const std::string dataset = data::DatasetName(id);
+      const bool found = std::any_of(rows.begin(), rows.end(), [&](const GridRow& r) {
+        return r.method == method && r.dataset == dataset;
+      });
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<GridRow> LoadOrComputeGrid(const BenchConfig& config,
+                                       const std::vector<std::string>& methods,
+                                       const std::vector<data::DatasetId>& datasets,
+                                       bool force) {
+  const std::string cache_path = CachePath(config);
+  if (!force) {
+    std::vector<GridRow> cached = ReadCache(cache_path);
+    if (!cached.empty() && CacheCovers(cached, methods, datasets)) {
+      std::fprintf(stderr, "[grid] loaded %zu cached rows from %s\n", cached.size(),
+                   cache_path.c_str());
+      return cached;
+    }
+  }
+
+  core::HarnessOptions options;
+  options.fit.epoch_scale = config.epoch_scale();
+  options.fit.seed = config.seed;
+  options.stochastic_repeats = config.stochastic_repeats();
+  options.max_eval_samples = config.max_eval_samples();
+  options.embedder.epochs = std::max(4, static_cast<int>(10 * config.scale));
+  options.seed = config.seed;
+  core::Harness harness(options);
+
+  std::vector<GridRow> rows;
+  for (data::DatasetId id : datasets) {
+    const core::Preprocessed pre = PrepareDataset(id, config);
+    std::fprintf(stderr, "[grid] dataset %s: R_train=%lld l=%lld N=%lld\n",
+                 pre.train.name().c_str(),
+                 static_cast<long long>(pre.train.num_samples()),
+                 static_cast<long long>(pre.train.seq_len()),
+                 static_cast<long long>(pre.train.num_features()));
+    for (const std::string& method_name : methods) {
+      auto method = methods::CreateMethod(method_name);
+      TSG_CHECK(method.ok()) << method.status().ToString();
+      const core::MethodRunResult result =
+          harness.RunMethod(*method.value(), pre.train, pre.test);
+      for (const auto& [measure, summary] : result.scores) {
+        rows.push_back({method_name, pre.train.name(), measure, summary.mean,
+                        summary.std, result.fit_seconds});
+      }
+      std::fprintf(stderr, "[grid]   %-12s fit %.1fs\n", method_name.c_str(),
+                   result.fit_seconds);
+    }
+  }
+  WriteCache(cache_path, rows);
+  return rows;
+}
+
+std::vector<core::CellResult> ToCells(const std::vector<GridRow>& rows,
+                                      const std::vector<std::string>& measures) {
+  std::vector<core::CellResult> cells;
+  for (const std::string& measure : measures) {
+    if (measure == "Time") {
+      // Deduplicate by (method, dataset) — fit time repeats on every measure row.
+      std::vector<std::pair<std::string, std::string>> seen;
+      for (const GridRow& row : rows) {
+        const auto key = std::make_pair(row.method, row.dataset);
+        if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+        seen.push_back(key);
+        cells.push_back({row.method, row.dataset, "Time", row.fit_seconds, 0.0});
+      }
+      continue;
+    }
+    for (const GridRow& row : rows) {
+      if (row.measure == measure) {
+        cells.push_back({row.method, row.dataset, row.measure, row.mean, row.stddev});
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+std::vector<std::string> Distinct(const std::vector<GridRow>& rows,
+                                  std::string GridRow::*field) {
+  std::vector<std::string> out;
+  for (const GridRow& row : rows) {
+    if (std::find(out.begin(), out.end(), row.*field) == out.end()) {
+      out.push_back(row.*field);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> DistinctMeasures(const std::vector<GridRow>& rows) {
+  return Distinct(rows, &GridRow::measure);
+}
+
+std::vector<std::string> DistinctDatasets(const std::vector<GridRow>& rows) {
+  return Distinct(rows, &GridRow::dataset);
+}
+
+}  // namespace tsg::bench

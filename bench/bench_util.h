@@ -1,0 +1,66 @@
+#ifndef TSG_BENCH_BENCH_UTIL_H_
+#define TSG_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/preprocess.h"
+#include "core/ranking.h"
+#include "data/simulators.h"
+
+namespace tsg::bench {
+
+/// Global knobs shared by every bench binary. Defaults give a laptop-scale run that
+/// finishes in minutes; TSGBENCH_SCALE=<x> multiplies the budget (dataset size,
+/// training epochs, evaluation repeats) toward paper fidelity.
+struct BenchConfig {
+  double scale = 1.0;          ///< TSGBENCH_SCALE multiplier.
+  uint64_t seed = 42;          ///< TSGBENCH_SEED.
+  std::string out_dir = "bench_out";  ///< TSGBENCH_OUT.
+
+  double dataset_scale() const { return 0.02 * scale; }
+  double epoch_scale() const { return 0.2 * scale; }
+  int stochastic_repeats() const { return scale >= 2.0 ? 5 : 2; }
+  int64_t max_eval_samples() const { return scale >= 2.0 ? 256 : 96; }
+};
+
+/// Reads TSGBENCH_SCALE / TSGBENCH_SEED / TSGBENCH_OUT and ensures out_dir exists.
+BenchConfig LoadConfig();
+
+/// One fitted-and-evaluated grid cell (long format, one row per measure) plus the
+/// training time (M8).
+struct GridRow {
+  std::string method;
+  std::string dataset;
+  std::string measure;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double fit_seconds = 0.0;
+};
+
+/// Preprocesses one simulated dataset under the benchmark defaults.
+core::Preprocessed PrepareDataset(data::DatasetId id, const BenchConfig& config);
+
+/// Runs the full benchmarking grid (methods x datasets x measure suite) and returns
+/// long-format rows. Results are cached as CSV in <out_dir>/grid_cells.csv keyed by
+/// the config; reruns with the same config load the cache so the Figure 1/5/8
+/// binaries do not recompute each other's work. Set `force` to recompute.
+std::vector<GridRow> LoadOrComputeGrid(const BenchConfig& config,
+                                       const std::vector<std::string>& methods,
+                                       const std::vector<data::DatasetId>& datasets,
+                                       bool force = false);
+
+/// Converts grid rows to the RankingAnalysis cell format for a set of measures
+/// (training time is appended as the synthetic measure "Time" when requested).
+std::vector<core::CellResult> ToCells(const std::vector<GridRow>& rows,
+                                      const std::vector<std::string>& measures);
+
+/// Distinct values preserving first-seen order.
+std::vector<std::string> DistinctMeasures(const std::vector<GridRow>& rows);
+std::vector<std::string> DistinctDatasets(const std::vector<GridRow>& rows);
+
+}  // namespace tsg::bench
+
+#endif  // TSG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Domain example: plugging your own raw time series into the benchmark.
+// A wearable-sensor team has one long multivariate recording (here synthesized) and
+// wants to (a) let the ACF-based rule pick the window length, (b) train a method,
+// and (c) export t-SNE / density-plot data to inspect the result — the Figure 6
+// workflow on user data. Also demonstrates CSV round-tripping via tsg::io.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/preprocess.h"
+#include "core/visualize.h"
+#include "data/simulators.h"
+#include "io/csv.h"
+#include "methods/factory.h"
+
+int main() {
+  // --- Your raw data: a long (L x N) matrix. Here: a 3-channel gait-like signal
+  // with a 32-step period, as if loaded from a CSV export of a wearable.
+  const int64_t length = 2000, channels = 3;
+  tsg::linalg::Matrix recording(length, channels);
+  tsg::Rng rng(123);
+  for (int64_t t = 0; t < length; ++t) {
+    const double cycle = 2.0 * M_PI * static_cast<double>(t) / 32.0;
+    recording(t, 0) = std::sin(cycle) + 0.1 * rng.Normal();
+    recording(t, 1) = 0.6 * std::sin(2.0 * cycle + 0.7) + 0.1 * rng.Normal();
+    recording(t, 2) = 9.8 + 0.4 * std::cos(cycle) + 0.05 * rng.Normal();
+  }
+
+  // Round-trip through CSV exactly as a user loading an export would.
+  const std::string csv_path = "custom_recording.csv";
+  TSG_CHECK(tsg::io::WriteCsv(csv_path, {"acc_x", "acc_y", "acc_z"}, recording).ok());
+  auto loaded = tsg::io::ReadCsv(csv_path, /*skip_header=*/true);
+  TSG_CHECK(loaded.ok()) << loaded.status().ToString();
+
+  tsg::data::RawSeries raw;
+  raw.values = loaded.value();
+  raw.name = "WearableGait";
+  raw.domain = "Medical";
+  raw.window_length = 24;  // Ignored: we let the ACF rule decide below.
+
+  // --- Preprocess with the ACF window rule (window_length = -1).
+  tsg::core::PreprocessOptions options;
+  options.window_length = -1;
+  const tsg::core::Preprocessed data = tsg::core::Preprocess(raw, options);
+  std::printf("ACF selected window length l=%lld (true period: 32)\n",
+              static_cast<long long>(data.window_length));
+  std::printf("Train/test: %lld / %lld windows\n",
+              static_cast<long long>(data.train.num_samples()),
+              static_cast<long long>(data.test.num_samples()));
+
+  // --- Fit the paper's recommended starter and generate.
+  auto method = tsg::methods::CreateMethod("LS4");
+  TSG_CHECK(method.ok());
+  tsg::core::FitOptions fit;
+  fit.epoch_scale = 0.5;
+  TSG_CHECK(method.value()->Fit(data.train, fit).ok());
+  tsg::Rng gen_rng(7);
+  tsg::core::Dataset generated("LS4@WearableGait",
+                               method.value()->Generate(100, gen_rng));
+
+  // --- Export the Figure 6 style visualization data.
+  tsg::core::VisualizeOptions vis_options;
+  vis_options.max_samples_per_set = 100;
+  vis_options.tsne.iterations = 200;
+  const auto vis = tsg::core::Visualize(data.train, generated, vis_options);
+  TSG_CHECK(tsg::core::WriteVisualization("custom_dataset", vis).ok());
+
+  std::printf("t-SNE overlap: %.3f (0.5 = clouds indistinguishable)\n",
+              vis.tsne_overlap);
+  std::printf("KDE L1 gap:    %.3f (0 = identical value distributions)\n",
+              vis.kde_l1);
+  std::printf("Wrote custom_dataset_tsne.csv and custom_dataset_density.csv;\n"
+              "plot them with your tool of choice.\n");
+  return 0;
+}

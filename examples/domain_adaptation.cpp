@@ -1,0 +1,93 @@
+// Domain example: the §4.3 generalization test on factory machinery (Example 4.1).
+// A TSG model trained on Boiler 1 must synthesize sensor readings for the newly
+// installed Boiler 2, from which only a brief history exists. The three DA scenarios
+// are compared for one efficient method (LS4) and the TimeGAN baseline.
+
+#include <cstdio>
+
+#include "core/da.h"
+#include "core/harness.h"
+#include "core/preprocess.h"
+#include "data/simulators.h"
+#include "io/table.h"
+#include "methods/factory.h"
+
+namespace {
+
+tsg::core::Dataset PrepareDomain(int domain_index) {
+  tsg::data::SimulatorOptions sim;
+  sim.scale = 0.0016;  // ~130 Boiler windows (keeps the example under a minute).
+  sim.domain_index = domain_index;
+  const auto raw = tsg::data::Simulate(tsg::data::DatasetId::kBoiler, sim);
+  auto processed = tsg::core::Preprocess(raw, tsg::core::PreprocessOptions());
+  auto all = processed.train;
+  all.set_name("Boiler/" +
+               tsg::data::DomainLabels(tsg::data::DatasetId::kBoiler)
+                   [static_cast<size_t>(domain_index)]);
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  // Source machine: Boiler 1. Target machine: Boiler 2 with a short history.
+  tsg::core::DaTask task;
+  task.source_train = PrepareDomain(0);
+  const tsg::core::Dataset target_all = PrepareDomain(1);
+  const int64_t his = std::max<int64_t>(4, target_all.num_samples() / 10);
+  task.target_his = target_all.Head(his);
+  std::vector<int64_t> gt_idx;
+  for (int64_t i = his; i < target_all.num_samples(); ++i) gt_idx.push_back(i);
+  task.target_gt = target_all.Select(gt_idx);
+  task.source_label = "Boiler1";
+  task.target_label = "Boiler2";
+
+  std::printf("Source %s: %lld windows; target history: %lld; ground truth: %lld\n\n",
+              task.source_label.c_str(),
+              static_cast<long long>(task.source_train.num_samples()),
+              static_cast<long long>(task.target_his.num_samples()),
+              static_cast<long long>(task.target_gt.num_samples()));
+
+  tsg::core::HarnessOptions harness_options;
+  harness_options.fit.epoch_scale = 0.15;
+  harness_options.stochastic_repeats = 2;
+  harness_options.embedder.epochs = 4;
+  harness_options.max_eval_samples = 64;
+  tsg::core::Harness harness(harness_options);
+
+  tsg::io::Table table({"Method", "Scenario", "Train windows", "C-FID", "MDD", "ED"});
+  for (const std::string& name : {"TimeGAN", "LS4"}) {
+    for (auto scenario : {tsg::core::DaScenario::kSingle,
+                          tsg::core::DaScenario::kCross,
+                          tsg::core::DaScenario::kReference}) {
+      auto method = tsg::methods::CreateMethod(name);
+      TSG_CHECK(method.ok());
+      const tsg::core::Dataset train_set =
+          tsg::core::BuildDaTrainingSet(task, scenario);
+      TSG_CHECK(method.value()->Fit(train_set, harness_options.fit).ok());
+
+      tsg::Rng rng(11);
+      const int64_t count = std::min<int64_t>(64, task.target_gt.num_samples());
+      tsg::core::Dataset generated(name, method.value()->Generate(count, rng));
+      const auto scores = harness.EvaluateGenerated(
+          task.target_gt.Head(count), task.target_gt, generated, "boiler_gt");
+
+      auto lookup = [&scores](const std::string& measure) {
+        for (const auto& [n2, summary] : scores) {
+          if (n2 == measure) return summary.mean;
+        }
+        return 0.0;
+      };
+      table.AddRow({name, tsg::core::DaScenarioName(scenario),
+                    std::to_string(train_set.num_samples()),
+                    tsg::io::Table::Num(lookup("C-FID"), 3),
+                    tsg::io::Table::Num(lookup("MDD"), 3),
+                    tsg::io::Table::Num(lookup("ED"), 3)});
+    }
+  }
+  table.Print();
+  std::printf("\nLower is better. In the paper, fast-converging methods (LS4,\n"
+              "RTSGAN) excel at single DA while TimeGAN adapts poorly across all\n"
+              "three scenarios.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Render TSGBench-cpp bench CSVs as standalone SVG figures (stdlib only).
+
+Usage:
+  scripts/plot_results.py tsne    bench_out/fig6_Stock_TimeVAE_tsne.csv   out.svg
+  scripts/plot_results.py density bench_out/fig6_Stock_TimeVAE_density.csv out.svg
+  scripts/plot_results.py heatmap bench_out/fig1_rank_per_measure.csv      out.svg
+
+The bench binaries emit the exact data the paper's figures plot; this script turns
+them into viewable SVGs without any third-party dependency.
+"""
+
+import csv
+import sys
+
+WIDTH, HEIGHT, MARGIN = 640, 480, 50
+REAL_COLOR, GEN_COLOR = "#1f77b4", "#ff7f0e"  # blue = real, orange = generated.
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    return rows[0], [[float(v) for v in row] for row in rows[1:]]
+
+
+def scale(values, lo_px, hi_px):
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return lambda v: lo_px + (v - lo) / span * (hi_px - lo_px)
+
+
+def svg_header():
+    return (f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+            f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">'
+            f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>')
+
+
+def plot_tsne(header, data, out):
+    del header
+    xs = [r[0] for r in data]
+    ys = [r[1] for r in data]
+    sx = scale(xs, MARGIN, WIDTH - MARGIN)
+    sy = scale(ys, HEIGHT - MARGIN, MARGIN)
+    parts = [svg_header()]
+    for x, y, is_real in data:
+        color = REAL_COLOR if is_real >= 0.5 else GEN_COLOR
+        parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                     f'fill="{color}" fill-opacity="0.6"/>')
+    parts.append(f'<text x="{MARGIN}" y="20" font-family="sans-serif" '
+                 f'font-size="13">t-SNE: <tspan fill="{REAL_COLOR}">real</tspan> vs '
+                 f'<tspan fill="{GEN_COLOR}">generated</tspan></text></svg>')
+    out.write("".join(parts))
+
+
+def plot_density(header, data, out):
+    del header
+    xs = [r[0] for r in data]
+    tops = [max(r[1], r[2]) for r in data]
+    sx = scale(xs, MARGIN, WIDTH - MARGIN)
+    sy = scale([0.0] + tops, HEIGHT - MARGIN, MARGIN)
+    parts = [svg_header()]
+    for col, color in ((1, REAL_COLOR), (2, GEN_COLOR)):
+        points = " ".join(f"{sx(r[0]):.1f},{sy(r[col]):.1f}" for r in data)
+        parts.append(f'<polyline points="{points}" fill="none" stroke="{color}" '
+                     f'stroke-width="2"/>')
+    parts.append(f'<line x1="{MARGIN}" y1="{HEIGHT - MARGIN}" x2="{WIDTH - MARGIN}" '
+                 f'y2="{HEIGHT - MARGIN}" stroke="black"/>')
+    parts.append(f'<text x="{MARGIN}" y="20" font-family="sans-serif" '
+                 f'font-size="13">Distribution plot: '
+                 f'<tspan fill="{REAL_COLOR}">real</tspan> vs '
+                 f'<tspan fill="{GEN_COLOR}">generated</tspan></text></svg>')
+    out.write("".join(parts))
+
+
+def plot_heatmap(header, data, out):
+    rows, cols = len(data), len(header)
+    cell_w = (WIDTH - 2 * MARGIN) / cols
+    cell_h = (HEIGHT - 2 * MARGIN) / rows
+    flat = [v for row in data for v in row]
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    parts = [svg_header()]
+    for i, row in enumerate(data):
+        for j, v in enumerate(row):
+            # Low rank (good) = green, high rank (bad) = red.
+            t = (v - lo) / span
+            r, g = int(60 + 180 * t), int(200 - 160 * t)
+            x = MARGIN + j * cell_w
+            y = MARGIN + i * cell_h
+            parts.append(f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_w:.1f}" '
+                         f'height="{cell_h:.1f}" fill="rgb({r},{g},80)"/>')
+            parts.append(f'<text x="{x + cell_w / 2:.1f}" y="{y + cell_h / 2 + 4:.1f}" '
+                         f'font-family="sans-serif" font-size="10" fill="white" '
+                         f'text-anchor="middle">{v:.1f}</text>')
+    for j, name in enumerate(header):
+        parts.append(f'<text x="{MARGIN + j * cell_w + cell_w / 2:.1f}" '
+                     f'y="{MARGIN - 8}" font-family="sans-serif" font-size="9" '
+                     f'text-anchor="middle">{name}</text>')
+    parts.append("</svg>")
+    out.write("".join(parts))
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in ("tsne", "density", "heatmap"):
+        sys.stderr.write(__doc__)
+        return 2
+    kind, src, dst = sys.argv[1:]
+    header, data = read_csv(src)
+    with open(dst, "w") as out:
+        {"tsne": plot_tsne, "density": plot_density, "heatmap": plot_heatmap}[kind](
+            header, data, out)
+    print(f"wrote {dst}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,461 @@
+#include "ag/ops.h"
+
+#include <cmath>
+
+namespace tsg::ag {
+namespace {
+
+using internal::MakeOp;
+using linalg::Hadamard;
+
+/// Accumulates `delta` into `v`'s gradient when it participates in differentiation.
+void Accumulate(const Var& v, const Matrix& delta) {
+  if (!v.requires_grad()) return;
+  v.node()->EnsureGrad() += delta;
+}
+
+/// Element-wise map helper for unary ops.
+template <typename Fn>
+Matrix Map(const Matrix& a, Fn fn) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = fn(a[i]);
+  return out;
+}
+
+double SigmoidScalar(double x) {
+  if (x >= 0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  TSG_CHECK(a.value().SameShape(b.value()));
+  return MakeOp(a.value() + b.value(), {a, b}, [a, b](const Matrix& g) {
+    Accumulate(a, g);
+    Accumulate(b, g);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  TSG_CHECK(a.value().SameShape(b.value()));
+  return MakeOp(a.value() - b.value(), {a, b}, [a, b](const Matrix& g) {
+    Accumulate(a, g);
+    if (b.requires_grad()) {
+      Matrix neg = g;
+      neg *= -1.0;
+      Accumulate(b, neg);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  TSG_CHECK(a.value().SameShape(b.value()));
+  return MakeOp(Hadamard(a.value(), b.value()), {a, b}, [a, b](const Matrix& g) {
+    if (a.requires_grad()) Accumulate(a, Hadamard(g, b.value()));
+    if (b.requires_grad()) Accumulate(b, Hadamard(g, a.value()));
+  });
+}
+
+Var Div(const Var& a, const Var& b) {
+  TSG_CHECK(a.value().SameShape(b.value()));
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = a.value()[i] / b.value()[i];
+  return MakeOp(std::move(out), {a, b}, [a, b](const Matrix& g) {
+    if (a.requires_grad()) {
+      Matrix da(g.rows(), g.cols());
+      for (int64_t i = 0; i < g.size(); ++i) da[i] = g[i] / b.value()[i];
+      Accumulate(a, da);
+    }
+    if (b.requires_grad()) {
+      Matrix db(g.rows(), g.cols());
+      for (int64_t i = 0; i < g.size(); ++i) {
+        const double bv = b.value()[i];
+        db[i] = -g[i] * a.value()[i] / (bv * bv);
+      }
+      Accumulate(b, db);
+    }
+  });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  return MakeOp(linalg::MatMul(a.value(), b.value()), {a, b}, [a, b](const Matrix& g) {
+    if (a.requires_grad()) Accumulate(a, linalg::MatMulTransB(g, b.value()));
+    if (b.requires_grad()) Accumulate(b, linalg::MatMulTransA(a.value(), g));
+  });
+}
+
+Var Transpose(const Var& a) {
+  return MakeOp(a.value().Transpose(), {a},
+                [a](const Matrix& g) { Accumulate(a, g.Transpose()); });
+}
+
+Var Neg(const Var& a) {
+  Matrix out = a.value();
+  out *= -1.0;
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) {
+    Matrix neg = g;
+    neg *= -1.0;
+    Accumulate(a, neg);
+  });
+}
+
+Var ScalarMul(const Var& a, double s) {
+  Matrix out = a.value();
+  out *= s;
+  return MakeOp(std::move(out), {a}, [a, s](const Matrix& g) {
+    Matrix da = g;
+    da *= s;
+    Accumulate(a, da);
+  });
+}
+
+Var ScalarAdd(const Var& a, double s) {
+  Matrix out = Map(a.value(), [s](double x) { return x + s; });
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) { Accumulate(a, g); });
+}
+
+Var PowScalar(const Var& a, double p) {
+  Matrix out = Map(a.value(), [p](double x) { return std::pow(x, p); });
+  return MakeOp(std::move(out), {a}, [a, p](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) {
+      da[i] = g[i] * p * std::pow(a.value()[i], p - 1.0);
+    }
+    Accumulate(a, da);
+  });
+}
+
+Var AddRowVec(const Var& a, const Var& b) {
+  TSG_CHECK_EQ(b.rows(), 1);
+  TSG_CHECK_EQ(a.cols(), b.cols());
+  Matrix out = a.value();
+  for (int64_t i = 0; i < out.rows(); ++i)
+    for (int64_t j = 0; j < out.cols(); ++j) out(i, j) += b.value()(0, j);
+  return MakeOp(std::move(out), {a, b}, [a, b](const Matrix& g) {
+    Accumulate(a, g);
+    if (b.requires_grad()) {
+      Matrix db(1, g.cols());
+      for (int64_t i = 0; i < g.rows(); ++i)
+        for (int64_t j = 0; j < g.cols(); ++j) db(0, j) += g(i, j);
+      Accumulate(b, db);
+    }
+  });
+}
+
+Var MulRowVec(const Var& a, const Var& b) {
+  TSG_CHECK_EQ(b.rows(), 1);
+  TSG_CHECK_EQ(a.cols(), b.cols());
+  Matrix out = a.value();
+  for (int64_t i = 0; i < out.rows(); ++i)
+    for (int64_t j = 0; j < out.cols(); ++j) out(i, j) *= b.value()(0, j);
+  return MakeOp(std::move(out), {a, b}, [a, b](const Matrix& g) {
+    if (a.requires_grad()) {
+      Matrix da = g;
+      for (int64_t i = 0; i < da.rows(); ++i)
+        for (int64_t j = 0; j < da.cols(); ++j) da(i, j) *= b.value()(0, j);
+      Accumulate(a, da);
+    }
+    if (b.requires_grad()) {
+      Matrix db(1, g.cols());
+      for (int64_t i = 0; i < g.rows(); ++i)
+        for (int64_t j = 0; j < g.cols(); ++j) db(0, j) += g(i, j) * a.value()(i, j);
+      Accumulate(b, db);
+    }
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Matrix out = Map(a.value(), SigmoidScalar);
+  // Backward uses the output value; captured by copy to avoid a tape cycle.
+  return MakeOp(out, {a}, [a, out](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) da[i] = g[i] * out[i] * (1.0 - out[i]);
+    Accumulate(a, da);
+  });
+}
+
+Var Tanh(const Var& a) {
+  Matrix out = Map(a.value(), [](double x) { return std::tanh(x); });
+  return MakeOp(out, {a}, [a, out](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) da[i] = g[i] * (1.0 - out[i] * out[i]);
+    Accumulate(a, da);
+  });
+}
+
+Var Relu(const Var& a) {
+  Matrix out = Map(a.value(), [](double x) { return x > 0 ? x : 0.0; });
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) da[i] = a.value()[i] > 0 ? g[i] : 0.0;
+    Accumulate(a, da);
+  });
+}
+
+Var LeakyRelu(const Var& a, double alpha) {
+  Matrix out = Map(a.value(), [alpha](double x) { return x > 0 ? x : alpha * x; });
+  return MakeOp(std::move(out), {a}, [a, alpha](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) {
+      da[i] = a.value()[i] > 0 ? g[i] : alpha * g[i];
+    }
+    Accumulate(a, da);
+  });
+}
+
+Var Exp(const Var& a) {
+  Matrix out = Map(a.value(), [](double x) { return std::exp(x); });
+  return MakeOp(out, {a}, [a, out](const Matrix& g) {
+    Accumulate(a, Hadamard(g, out));
+  });
+}
+
+Var Log(const Var& a) {
+  Matrix out = Map(a.value(), [](double x) { return std::log(x); });
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) {
+      da[i] = g[i] / std::max(a.value()[i], 1e-12);
+    }
+    Accumulate(a, da);
+  });
+}
+
+Var Softplus(const Var& a) {
+  Matrix out = Map(a.value(), [](double x) {
+    // Stable softplus: max(x, 0) + log1p(exp(-|x|)).
+    return std::max(x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
+  });
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) da[i] = g[i] * SigmoidScalar(a.value()[i]);
+    Accumulate(a, da);
+  });
+}
+
+Var Square(const Var& a) {
+  Matrix out = Map(a.value(), [](double x) { return x * x; });
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) da[i] = 2.0 * g[i] * a.value()[i];
+    Accumulate(a, da);
+  });
+}
+
+Var Sqrt(const Var& a) {
+  Matrix out = Map(a.value(), [](double x) { return std::sqrt(x); });
+  return MakeOp(out, {a}, [a, out](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) {
+      da[i] = g[i] / std::max(2.0 * out[i], 1e-12);
+    }
+    Accumulate(a, da);
+  });
+}
+
+Var Abs(const Var& a) {
+  Matrix out = Map(a.value(), [](double x) { return std::fabs(x); });
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) {
+    Matrix da(g.rows(), g.cols());
+    for (int64_t i = 0; i < g.size(); ++i) {
+      da[i] = a.value()[i] >= 0 ? g[i] : -g[i];
+    }
+    Accumulate(a, da);
+  });
+}
+
+Var Sum(const Var& a) {
+  Matrix out(1, 1);
+  out(0, 0) = a.value().Sum();
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Accumulate(a, Matrix::Constant(a.rows(), a.cols(), g(0, 0)));
+  });
+}
+
+Var Mean(const Var& a) {
+  const double inv = a.value().size() == 0
+                         ? 0.0
+                         : 1.0 / static_cast<double>(a.value().size());
+  Matrix out(1, 1);
+  out(0, 0) = a.value().Sum() * inv;
+  return MakeOp(std::move(out), {a}, [a, inv](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Accumulate(a, Matrix::Constant(a.rows(), a.cols(), g(0, 0) * inv));
+  });
+}
+
+Var ColSum(const Var& a) {
+  Matrix out(1, a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i)
+    for (int64_t j = 0; j < a.cols(); ++j) out(0, j) += a.value()(i, j);
+  return MakeOp(std::move(out), {a}, [a](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Matrix da(a.rows(), a.cols());
+    for (int64_t i = 0; i < da.rows(); ++i)
+      for (int64_t j = 0; j < da.cols(); ++j) da(i, j) = g(0, j);
+    Accumulate(a, da);
+  });
+}
+
+Var ColMeanVar(const Var& a) {
+  return ScalarMul(ColSum(a), a.rows() == 0 ? 0.0 : 1.0 / static_cast<double>(a.rows()));
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  TSG_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  out.SetBlock(0, 0, a.value());
+  out.SetBlock(0, a.cols(), b.value());
+  const int64_t a_cols = a.cols(), b_cols = b.cols();
+  return MakeOp(std::move(out), {a, b}, [a, b, a_cols, b_cols](const Matrix& g) {
+    if (a.requires_grad()) Accumulate(a, g.Block(0, 0, g.rows(), a_cols));
+    if (b.requires_grad()) Accumulate(b, g.Block(0, a_cols, g.rows(), b_cols));
+  });
+}
+
+Var ConcatRows(const Var& a, const Var& b) {
+  TSG_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  out.SetBlock(0, 0, a.value());
+  out.SetBlock(a.rows(), 0, b.value());
+  const int64_t a_rows = a.rows(), b_rows = b.rows();
+  return MakeOp(std::move(out), {a, b}, [a, b, a_rows, b_rows](const Matrix& g) {
+    if (a.requires_grad()) Accumulate(a, g.Block(0, 0, a_rows, g.cols()));
+    if (b.requires_grad()) Accumulate(b, g.Block(a_rows, 0, b_rows, g.cols()));
+  });
+}
+
+Var SliceCols(const Var& a, int64_t col0, int64_t ncols) {
+  Matrix out = a.value().Block(0, col0, a.rows(), ncols);
+  return MakeOp(std::move(out), {a}, [a, col0](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Matrix da(a.rows(), a.cols());
+    da.SetBlock(0, col0, g);
+    Accumulate(a, da);
+  });
+}
+
+Var SliceRows(const Var& a, int64_t row0, int64_t nrows) {
+  Matrix out = a.value().Block(row0, 0, nrows, a.cols());
+  return MakeOp(std::move(out), {a}, [a, row0](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Matrix da(a.rows(), a.cols());
+    da.SetBlock(row0, 0, g);
+    Accumulate(a, da);
+  });
+}
+
+Var Detach(const Var& a) { return Var::Constant(a.value()); }
+
+Var MseLoss(const Var& pred, const Var& target) {
+  TSG_CHECK(pred.value().SameShape(target.value()));
+  const int64_t n = pred.value().size();
+  const double inv = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = pred.value()[i] - target.value()[i];
+    loss += d * d;
+  }
+  Matrix out(1, 1);
+  out(0, 0) = loss * inv;
+  return MakeOp(std::move(out), {pred, target}, [pred, target, inv](const Matrix& g) {
+    const double scale = 2.0 * g(0, 0) * inv;
+    if (pred.requires_grad()) {
+      Matrix dp(pred.rows(), pred.cols());
+      for (int64_t i = 0; i < dp.size(); ++i) {
+        dp[i] = scale * (pred.value()[i] - target.value()[i]);
+      }
+      Accumulate(pred, dp);
+    }
+    if (target.requires_grad()) {
+      Matrix dt(target.rows(), target.cols());
+      for (int64_t i = 0; i < dt.size(); ++i) {
+        dt[i] = -scale * (pred.value()[i] - target.value()[i]);
+      }
+      Accumulate(target, dt);
+    }
+  });
+}
+
+Var L1Loss(const Var& pred, const Var& target) {
+  TSG_CHECK(pred.value().SameShape(target.value()));
+  const int64_t n = pred.value().size();
+  const double inv = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) loss += std::fabs(pred.value()[i] - target.value()[i]);
+  Matrix out(1, 1);
+  out(0, 0) = loss * inv;
+  return MakeOp(std::move(out), {pred, target}, [pred, target, inv](const Matrix& g) {
+    const double scale = g(0, 0) * inv;
+    Matrix dp(pred.rows(), pred.cols());
+    for (int64_t i = 0; i < dp.size(); ++i) {
+      const double d = pred.value()[i] - target.value()[i];
+      dp[i] = d > 0 ? scale : (d < 0 ? -scale : 0.0);
+    }
+    if (pred.requires_grad()) Accumulate(pred, dp);
+    if (target.requires_grad()) {
+      dp *= -1.0;
+      Accumulate(target, dp);
+    }
+  });
+}
+
+Var BceWithLogits(const Var& logits, const Var& targets) {
+  TSG_CHECK(logits.value().SameShape(targets.value()));
+  const int64_t n = logits.value().size();
+  const double inv = n == 0 ? 0.0 : 1.0 / static_cast<double>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = logits.value()[i], z = targets.value()[i];
+    loss += std::max(x, 0.0) - x * z + std::log1p(std::exp(-std::fabs(x)));
+  }
+  Matrix out(1, 1);
+  out(0, 0) = loss * inv;
+  return MakeOp(std::move(out), {logits, targets},
+                [logits, targets, inv](const Matrix& g) {
+                  if (!logits.requires_grad()) return;
+                  const double scale = g(0, 0) * inv;
+                  Matrix dx(logits.rows(), logits.cols());
+                  for (int64_t i = 0; i < dx.size(); ++i) {
+                    dx[i] = scale *
+                            (SigmoidScalar(logits.value()[i]) - targets.value()[i]);
+                  }
+                  Accumulate(logits, dx);
+                });
+}
+
+Var Dropout(const Var& a, double rate, Rng& rng) {
+  TSG_CHECK(rate >= 0.0 && rate < 1.0);
+  if (rate == 0.0) return a;
+  const double keep = 1.0 - rate;
+  Matrix mask(a.rows(), a.cols());
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng.Uniform() < rate ? 0.0 : 1.0 / keep;
+  }
+  Matrix out = Hadamard(a.value(), mask);
+  return MakeOp(std::move(out), {a}, [a, mask](const Matrix& g) {
+    Accumulate(a, Hadamard(g, mask));
+  });
+}
+
+Var OnesLike(const Var& a) {
+  return Var::Constant(Matrix::Constant(a.rows(), a.cols(), 1.0));
+}
+
+Var ZerosLike(const Var& a) { return Var::Constant(Matrix(a.rows(), a.cols())); }
+
+Var Randn(int64_t rows, int64_t cols, Rng& rng, double stddev) {
+  Matrix m(rows, cols);
+  rng.FillNormal(m.data(), m.size());
+  if (stddev != 1.0) m *= stddev;
+  return Var::Constant(std::move(m));
+}
+
+}  // namespace tsg::ag

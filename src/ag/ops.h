@@ -1,0 +1,95 @@
+#ifndef TSG_AG_OPS_H_
+#define TSG_AG_OPS_H_
+
+#include <cstdint>
+#include "ag/variable.h"
+#include "base/rng.h"
+
+namespace tsg::ag {
+
+/// Differentiable operations over Vars. Every function builds a tape node whose
+/// backward closure accumulates gradients into its inputs; composing these is how all
+/// ten TSG methods and all post-hoc evaluation networks are expressed.
+
+// ---- Element-wise binary ops (shapes must match). ----
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var Div(const Var& a, const Var& b);
+
+// ---- Matrix ops. ----
+Var MatMul(const Var& a, const Var& b);
+Var Transpose(const Var& a);
+
+// ---- Scalar-argument ops. ----
+Var Neg(const Var& a);
+Var ScalarMul(const Var& a, double s);
+Var ScalarAdd(const Var& a, double s);
+/// y = x^p element-wise; requires x > 0 when p is non-integral.
+Var PowScalar(const Var& a, double p);
+
+// ---- Broadcasting ops (b is a 1 x C row vector; a is B x C). ----
+Var AddRowVec(const Var& a, const Var& b);
+Var MulRowVec(const Var& a, const Var& b);
+
+// ---- Activations / element-wise nonlinearities. ----
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+Var LeakyRelu(const Var& a, double alpha = 0.2);
+Var Exp(const Var& a);
+/// Natural log; backward clamps the denominator at 1e-12 for numerical safety.
+Var Log(const Var& a);
+Var Softplus(const Var& a);
+Var Square(const Var& a);
+Var Sqrt(const Var& a);
+Var Abs(const Var& a);
+
+// ---- Reductions (outputs are 1x1 unless stated). ----
+Var Sum(const Var& a);
+Var Mean(const Var& a);
+/// Column sums -> 1 x C.
+Var ColSum(const Var& a);
+/// Column means -> 1 x C.
+Var ColMeanVar(const Var& a);
+
+// ---- Shape ops. ----
+Var ConcatCols(const Var& a, const Var& b);
+Var ConcatRows(const Var& a, const Var& b);
+Var SliceCols(const Var& a, int64_t col0, int64_t ncols);
+Var SliceRows(const Var& a, int64_t row0, int64_t nrows);
+
+/// Cuts the tape: returns a constant with a copy of a's value. Used when training a
+/// GAN discriminator on generator output, and in the VQ-VAE straight-through trick.
+Var Detach(const Var& a);
+
+// ---- Losses (scalar outputs). ----
+/// Mean squared error over all elements.
+Var MseLoss(const Var& pred, const Var& target);
+/// Mean absolute error over all elements.
+Var L1Loss(const Var& pred, const Var& target);
+/// Numerically stable binary cross entropy on raw logits; targets in [0, 1].
+Var BceWithLogits(const Var& logits, const Var& targets);
+
+// ---- Regularization. ----
+/// Inverted dropout: at train time zeroes entries with probability `rate` and rescales
+/// the survivors by 1/(1-rate).
+Var Dropout(const Var& a, double rate, Rng& rng);
+
+// ---- Constructors for common constants. ----
+Var OnesLike(const Var& a);
+Var ZerosLike(const Var& a);
+/// Non-differentiable i.i.d. N(0, stddev^2) sample.
+Var Randn(int64_t rows, int64_t cols, Rng& rng, double stddev = 1.0);
+
+// ---- Operator sugar. ----
+inline Var operator+(const Var& a, const Var& b) { return Add(a, b); }
+inline Var operator-(const Var& a, const Var& b) { return Sub(a, b); }
+inline Var operator*(const Var& a, const Var& b) { return Mul(a, b); }
+inline Var operator-(const Var& a) { return Neg(a); }
+inline Var operator*(const Var& a, double s) { return ScalarMul(a, s); }
+inline Var operator*(double s, const Var& a) { return ScalarMul(a, s); }
+
+}  // namespace tsg::ag
+
+#endif  // TSG_AG_OPS_H_

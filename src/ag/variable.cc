@@ -1,0 +1,69 @@
+#include "ag/variable.h"
+
+#include <unordered_set>
+
+namespace tsg::ag {
+
+namespace internal {
+
+bool AnyRequiresGrad(const std::vector<Var>& inputs) {
+  for (const Var& v : inputs) {
+    if (v.requires_grad()) return true;
+  }
+  return false;
+}
+
+Var MakeOp(Matrix value, std::vector<Var> inputs,
+           std::function<void(const Matrix&)> backward_fn) {
+  const bool needs_grad = AnyRequiresGrad(inputs);
+  Var out(std::move(value), needs_grad);
+  if (needs_grad) {
+    auto node = out.node();
+    node->inputs.reserve(inputs.size());
+    for (const Var& v : inputs) node->inputs.push_back(v.node());
+    node->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+}  // namespace internal
+
+void Backward(const Var& root) {
+  TSG_CHECK(root.defined());
+  TSG_CHECK(root.rows() == 1 && root.cols() == 1) << "Backward root must be scalar";
+
+  // Iterative post-order DFS to build a topological order of the reachable subgraph
+  // that participates in differentiation.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.node().get(), 0);
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->inputs.size()) {
+      Node* child = node->inputs[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Allocate gradient buffers for freshly created interior nodes; leaves keep any
+  // previously accumulated gradient so multi-loss accumulation works.
+  for (Node* node : topo) node->EnsureGrad();
+
+  Node* root_node = root.node().get();
+  root_node->grad(0, 0) += 1.0;
+
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) node->backward_fn(node->grad);
+  }
+}
+
+}  // namespace tsg::ag

@@ -1,0 +1,92 @@
+#ifndef TSG_AG_VARIABLE_H_
+#define TSG_AG_VARIABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tsg::ag {
+
+using linalg::Matrix;
+
+/// One entry on the autodiff tape: a value, its (lazily allocated) gradient, the
+/// upstream nodes it was computed from, and a closure that pushes this node's gradient
+/// back into those inputs. Nodes form a DAG; closures capture input nodes (never their
+/// own node), so there are no ownership cycles.
+struct Node {
+  Matrix value;
+  Matrix grad;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  /// Accumulates input gradients given this node's gradient. Null for leaves.
+  std::function<void(const Matrix& grad_out)> backward_fn;
+
+  /// Ensures `grad` is allocated (zero-filled) with the value's shape.
+  Matrix& EnsureGrad() {
+    if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
+    return grad;
+  }
+};
+
+/// Lightweight handle to a tape node. Vars copy cheaply (shared_ptr) and are the
+/// currency of the nn layer API: layer forward passes map Vars to Vars, and Backward()
+/// on a scalar loss fills parameter gradients.
+class Var {
+ public:
+  Var() = default;
+  /// Wraps a value; `requires_grad` marks trainable leaves (parameters).
+  explicit Var(Matrix value, bool requires_grad = false)
+      : node_(std::make_shared<Node>()) {
+    node_->value = std::move(value);
+    node_->requires_grad = requires_grad;
+  }
+
+  /// A non-differentiable constant (data, noise, targets).
+  static Var Constant(Matrix value) { return Var(std::move(value), false); }
+  /// A trainable parameter leaf.
+  static Var Parameter(Matrix value) { return Var(std::move(value), true); }
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  Matrix& mutable_value() { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  int64_t rows() const { return node_->value.rows(); }
+  int64_t cols() const { return node_->value.cols(); }
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  /// Zeroes this leaf's gradient buffer (optimizers call this between steps).
+  void ZeroGrad() {
+    if (node_) node_->EnsureGrad().SetZero();
+  }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Reverse-mode sweep from a scalar (1x1) root. Gradients accumulate into every
+/// reachable node that requires them, PyTorch-style: call ZeroGrad on parameters
+/// between optimization steps; intermediate nodes are fresh per forward pass.
+void Backward(const Var& root);
+
+namespace internal {
+
+/// Creates an op node: value, inputs, and the backward closure. requires_grad is
+/// inherited from the inputs so backward sweeps skip constant subgraphs.
+Var MakeOp(Matrix value, std::vector<Var> inputs,
+           std::function<void(const Matrix&)> backward_fn);
+
+/// True if any input requires a gradient.
+bool AnyRequiresGrad(const std::vector<Var>& inputs);
+
+}  // namespace internal
+
+}  // namespace tsg::ag
+
+#endif  // TSG_AG_VARIABLE_H_

@@ -1,0 +1,13 @@
+#include "base/check.h"
+
+namespace tsg::internal {
+
+void CheckFailed(const char* file, int line, const char* condition,
+                 const std::string& message) {
+  std::fprintf(stderr, "TSG_CHECK failed at %s:%d: %s %s\n", file, line, condition,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tsg::internal

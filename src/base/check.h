@@ -1,0 +1,54 @@
+#ifndef TSG_BASE_CHECK_H_
+#define TSG_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tsg::internal {
+
+/// Formats and reports a fatal contract violation, then aborts. Out-of-line so the
+/// macro below stays cheap at every call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* condition,
+                              const std::string& message);
+
+/// Stream-collector used by the TSG_CHECK macro's `<<` tail.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, condition_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tsg::internal
+
+/// Contract check: aborts with file/line and an optional streamed message when the
+/// condition is false. Used for programmer errors (shape mismatches, out-of-range
+/// indices); recoverable failures return tsg::Status instead.
+#define TSG_CHECK(condition)                                                     \
+  for (bool tsg_check_ok = static_cast<bool>(condition); !tsg_check_ok;          \
+       tsg_check_ok = true)                                                      \
+  ::tsg::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define TSG_CHECK_EQ(a, b) TSG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSG_CHECK_NE(a, b) TSG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSG_CHECK_LT(a, b) TSG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSG_CHECK_LE(a, b) TSG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSG_CHECK_GT(a, b) TSG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSG_CHECK_GE(a, b) TSG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // TSG_BASE_CHECK_H_

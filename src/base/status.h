@@ -1,0 +1,81 @@
+#ifndef TSG_BASE_STATUS_H_
+#define TSG_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tsg {
+
+/// Error categories for recoverable failures (I/O, malformed input, bad config).
+/// Programming-contract violations use TSG_CHECK instead and abort.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A lightweight, exception-free error carrier in the style of RocksDB's Status /
+/// absl::Status. Functions that can fail for recoverable reasons return Status (or
+/// StatusOr<T>); success is the default-constructed OK value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Minimal StatusOr: either an OK status with a value, or a non-OK status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse
+  /// (`return value;` / `return Status::IoError(...);`), matching absl::StatusOr.
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}                // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace tsg
+
+#endif  // TSG_BASE_STATUS_H_

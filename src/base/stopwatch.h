@@ -1,0 +1,28 @@
+#ifndef TSG_BASE_STOPWATCH_H_
+#define TSG_BASE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tsg {
+
+/// Wall-clock stopwatch used for the Training Time measure (M8) and harness timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tsg
+
+#endif  // TSG_BASE_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#include "core/da.h"
+
+#include "base/check.h"
+
+namespace tsg::core {
+
+const char* DaScenarioName(DaScenario scenario) {
+  switch (scenario) {
+    case DaScenario::kSingle:
+      return "single";
+    case DaScenario::kCross:
+      return "cross";
+    case DaScenario::kReference:
+      return "reference";
+  }
+  TSG_CHECK(false) << "unknown DA scenario";
+  return "";
+}
+
+Dataset BuildDaTrainingSet(const DaTask& task, DaScenario scenario) {
+  switch (scenario) {
+    case DaScenario::kSingle:
+      return task.source_train;
+    case DaScenario::kCross: {
+      Dataset combined = task.source_train;
+      for (const Matrix& s : task.target_his.samples()) combined.Add(s);
+      combined.set_name(task.source_train.name() + "+" + task.target_label);
+      return combined;
+    }
+    case DaScenario::kReference:
+      return task.target_his;
+  }
+  TSG_CHECK(false) << "unknown DA scenario";
+  return {};
+}
+
+}  // namespace tsg::core

@@ -1,0 +1,35 @@
+#ifndef TSG_CORE_DA_H_
+#define TSG_CORE_DA_H_
+
+#include <string>
+
+#include "core/dataset.h"
+
+namespace tsg::core {
+
+/// The paper's §4.3 Domain-Adaptation generalization test. A TSG model must produce
+/// series for a *target* domain (a new machine / user / city) given different mixes
+/// of source-domain and target-domain data:
+///   Single DA    — train on the source domain only (Definition 4.1);
+///   Cross DA     — train on source + a small target history T_t^his (Definition 4.2);
+///   Reference DA — train on the small target history only (Definition 4.3).
+/// Generated series are always evaluated against the target ground truth T_t^gt.
+enum class DaScenario { kSingle, kCross, kReference };
+
+const char* DaScenarioName(DaScenario scenario);
+
+/// One DA task: the three datasets Example 4.1 names.
+struct DaTask {
+  Dataset source_train;  ///< T_s^tr — full source-domain training data.
+  Dataset target_his;    ///< T_t^his — brief target-domain history.
+  Dataset target_gt;     ///< T_t^gt — target-domain ground truth for evaluation.
+  std::string source_label;
+  std::string target_label;
+};
+
+/// Assembles the training set each scenario prescribes.
+Dataset BuildDaTrainingSet(const DaTask& task, DaScenario scenario);
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_DA_H_

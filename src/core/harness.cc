@@ -1,0 +1,87 @@
+#include "core/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/stopwatch.h"
+
+namespace tsg::core {
+
+Harness::Harness(HarnessOptions options) : options_(std::move(options)) {}
+
+Harness::~Harness() = default;
+
+const embed::SequenceEmbedder& Harness::GetEmbedder(const std::string& key,
+                                                    const Dataset& reference) {
+  auto it = embedders_.find(key);
+  if (it == embedders_.end()) {
+    auto embedder = std::make_unique<embed::SequenceEmbedder>(
+        reference.num_features(), options_.embedder, options_.seed ^ 0xE3BEDDE2);
+    const int64_t cap = std::min<int64_t>(reference.num_samples(), 512);
+    embedder->Fit(reference.Head(cap).samples());
+    it = embedders_.emplace(key, std::move(embedder)).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, stats::MeanStd>> Harness::EvaluateGenerated(
+    const Dataset& real, const Dataset& real_test, const Dataset& generated,
+    const std::string& embedder_key) {
+  const embed::SequenceEmbedder& embedder = GetEmbedder(embedder_key, real);
+
+  MeasureContext ctx;
+  ctx.real = &real;
+  ctx.real_test = &real_test;
+  ctx.generated = &generated;
+  ctx.embedder = &embedder;
+
+  std::vector<std::pair<std::string, stats::MeanStd>> out;
+  for (const auto& measure : DefaultMeasureSuite(options_.include_ps_entire)) {
+    const int repeats = measure->stochastic() ? options_.stochastic_repeats : 1;
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(repeats));
+    for (int r = 0; r < repeats; ++r) {
+      ctx.seed = options_.seed + 1000003ULL * static_cast<uint64_t>(r + 1);
+      values.push_back(measure->Evaluate(ctx));
+    }
+    out.emplace_back(measure->name(), stats::Summarize(values));
+    if (options_.verbosity > 0) {
+      std::fprintf(stderr, "    %-10s %.4f\n", measure->name().c_str(),
+                   out.back().second.mean);
+    }
+  }
+  return out;
+}
+
+MethodRunResult Harness::RunMethod(TsgMethod& method, const Dataset& train,
+                                   const Dataset& test) {
+  MethodRunResult result;
+  result.method = method.name();
+  result.dataset = train.name();
+
+  if (options_.verbosity > 0) {
+    std::fprintf(stderr, "[%s / %s] fitting...\n", result.method.c_str(),
+                 result.dataset.c_str());
+  }
+  Stopwatch watch;
+  const Status fit_status = method.Fit(train, options_.fit);
+  result.fit_seconds = watch.ElapsedSeconds();
+  TSG_CHECK(fit_status.ok()) << result.method << ": " << fit_status.ToString();
+
+  const int64_t count = std::min(options_.max_eval_samples, train.num_samples());
+  Rng gen_rng(options_.seed ^ 0x6E4E12A7);
+  Dataset generated(result.method + "@" + result.dataset,
+                    method.Generate(count, gen_rng));
+  const Dataset reference = train.Head(count);
+  result.scores = EvaluateGenerated(reference, test, generated, result.dataset);
+  return result;
+}
+
+const char* Harness::TrainingTimeBucket(double seconds) {
+  if (seconds < 60.0) return "<1min";
+  if (seconds < 3600.0) return "<1h";
+  if (seconds < 86400.0) return "<1d";
+  return ">=1d";
+}
+
+}  // namespace tsg::core

@@ -1,0 +1,76 @@
+#ifndef TSG_CORE_HARNESS_H_
+#define TSG_CORE_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/measures.h"
+#include "core/method.h"
+#include "embed/embedder.h"
+#include "stats/descriptive.h"
+
+namespace tsg::core {
+
+/// Orchestrates the paper's evaluation protocol for one (method, dataset) cell:
+/// fit, time the fit (M8), generate one sample per reference sample, and run the
+/// measure suite — repeating the stochastic TSTR measures (DS/PS) with fresh seeds
+/// and reporting mean +- std as the paper does (it repeats 5x; benches default to 3).
+struct HarnessOptions {
+  FitOptions fit;
+  int stochastic_repeats = 3;
+  /// Caps both the reference set and the generated count per evaluation.
+  int64_t max_eval_samples = 256;
+  bool include_ps_entire = false;
+  embed::SequenceEmbedder::Options embedder;
+  uint64_t seed = 42;
+  int verbosity = 0;
+};
+
+struct MethodRunResult {
+  std::string method;
+  std::string dataset;
+  double fit_seconds = 0.0;
+  /// Measure name -> (mean, std across repeats; std 0 for deterministic measures).
+  std::vector<std::pair<std::string, stats::MeanStd>> scores;
+};
+
+class Harness {
+ public:
+  explicit Harness(HarnessOptions options);
+  ~Harness();
+
+  /// Full protocol for one cell. `train` is the preprocessed 90% split, `test` the
+  /// held-out 10% used by the TSTR measures.
+  MethodRunResult RunMethod(TsgMethod& method, const Dataset& train,
+                            const Dataset& test);
+
+  /// Evaluates an externally produced generated set against a real reference — used
+  /// by the Table 4 robustness test and the DA benches. `embedder_key` groups
+  /// embedder reuse (one embedder per reference dataset).
+  std::vector<std::pair<std::string, stats::MeanStd>> EvaluateGenerated(
+      const Dataset& real, const Dataset& real_test, const Dataset& generated,
+      const std::string& embedder_key);
+
+  /// Returns (fitting on first use) the context embedder for a reference dataset.
+  const embed::SequenceEmbedder& GetEmbedder(const std::string& key,
+                                             const Dataset& reference);
+
+  const HarnessOptions& options() const { return options_; }
+
+  /// Buckets a training time into the paper's four Figure 5 segments:
+  /// "<1min", "<1h", "<1d", ">=1d".
+  static const char* TrainingTimeBucket(double seconds);
+
+ private:
+  HarnessOptions options_;
+  std::map<std::string, std::unique_ptr<embed::SequenceEmbedder>> embedders_;
+};
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_HARNESS_H_

@@ -1,0 +1,350 @@
+#include "core/measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ag/ops.h"
+#include "base/check.h"
+#include "distance/distance.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+#include "signal/acf.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace tsg::core {
+namespace {
+
+using ag::Var;
+
+/// Stacks row `t` of the selected samples into a (batch x N) constant.
+Var StepBatch(const std::vector<const Matrix*>& samples,
+              const std::vector<int64_t>& idx, int64_t t) {
+  const int64_t batch = static_cast<int64_t>(idx.size());
+  const int64_t n = samples[0]->cols();
+  Matrix out(batch, n);
+  for (int64_t b = 0; b < batch; ++b) {
+    const Matrix& s = *samples[static_cast<size_t>(idx[static_cast<size_t>(b)])];
+    for (int64_t j = 0; j < n; ++j) out(b, j) = s(t, j);
+  }
+  return Var::Constant(std::move(out));
+}
+
+std::vector<const Matrix*> Pointers(const Dataset& ds, int64_t cap) {
+  std::vector<const Matrix*> out;
+  const int64_t count = std::min(cap, ds.num_samples());
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) out.push_back(&ds.sample(i));
+  return out;
+}
+
+void CheckContext(const MeasureContext& ctx) {
+  TSG_CHECK(ctx.real != nullptr && ctx.generated != nullptr);
+  TSG_CHECK(!ctx.real->empty() && !ctx.generated->empty());
+  TSG_CHECK_EQ(ctx.real->num_features(), ctx.generated->num_features());
+  TSG_CHECK_EQ(ctx.real->seq_len(), ctx.generated->seq_len());
+}
+
+}  // namespace
+
+double DiscriminativeScore::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  Rng rng(ctx.seed ^ 0xD15C);
+  const int64_t per_class = std::min({options_.max_samples_per_class,
+                                      ctx.real->num_samples(),
+                                      ctx.generated->num_samples()});
+  // Pool: real labeled 1, generated labeled 0.
+  std::vector<const Matrix*> pool;
+  std::vector<double> labels;
+  for (int64_t i = 0; i < per_class; ++i) {
+    pool.push_back(&ctx.real->sample(i));
+    labels.push_back(1.0);
+    pool.push_back(&ctx.generated->sample(i));
+    labels.push_back(0.0);
+  }
+  const int64_t total = static_cast<int64_t>(pool.size());
+  std::vector<int64_t> perm = rng.Permutation(total);
+  const int64_t train_count = total * 4 / 5;
+
+  const int64_t n = ctx.real->num_features();
+  const int64_t l = ctx.real->seq_len();
+  nn::LstmStack lstm(n, options_.hidden_size, options_.num_layers, rng);
+  nn::Dense head(options_.hidden_size, 1, rng);
+  nn::Adam opt(nn::CollectParameters({&lstm, &head}), options_.learning_rate);
+
+  auto forward = [&](const std::vector<int64_t>& idx) {
+    std::vector<Var> steps;
+    steps.reserve(static_cast<size_t>(l));
+    for (int64_t t = 0; t < l; ++t) steps.push_back(StepBatch(pool, idx, t));
+    std::vector<Var> finals;
+    lstm.Forward(steps, &finals);
+    return head.Forward(finals.back());
+  };
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<int64_t> order(perm.begin(), perm.begin() + train_count);
+    // Re-shuffle the training portion each epoch.
+    for (int64_t i = train_count - 1; i > 0; --i) {
+      std::swap(order[static_cast<size_t>(i)],
+                order[static_cast<size_t>(rng.UniformInt(i + 1))]);
+    }
+    for (int64_t start = 0; start < train_count; start += options_.batch_size) {
+      const int64_t end = std::min(start + options_.batch_size, train_count);
+      const std::vector<int64_t> idx(order.begin() + start, order.begin() + end);
+      Matrix target(end - start, 1);
+      for (int64_t b = 0; b < end - start; ++b) {
+        target(b, 0) = labels[static_cast<size_t>(idx[static_cast<size_t>(b)])];
+      }
+      opt.ZeroGrad();
+      ag::Backward(ag::BceWithLogits(forward(idx), Var::Constant(target)));
+      opt.ClipGradNorm(5.0);
+      opt.Step();
+    }
+  }
+
+  // Held-out accuracy.
+  const std::vector<int64_t> test_idx(perm.begin() + train_count, perm.end());
+  if (test_idx.empty()) return 0.5;
+  const Var logits = forward(test_idx);
+  int64_t correct = 0;
+  for (int64_t b = 0; b < logits.rows(); ++b) {
+    const double pred = logits.value()(b, 0) > 0 ? 1.0 : 0.0;
+    correct += pred == labels[static_cast<size_t>(test_idx[static_cast<size_t>(b)])];
+  }
+  const double acc =
+      static_cast<double>(correct) / static_cast<double>(test_idx.size());
+  return std::fabs(0.5 - acc);
+}
+
+double PredictiveScore::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  Rng rng(ctx.seed ^ 0x9595);
+  const int64_t n = ctx.real->num_features();
+  const int64_t l = ctx.real->seq_len();
+  TSG_CHECK_GE(l, 2);
+
+  // TSTR: train on synthetic (TRTS swaps the roles of the two sets).
+  const Dataset& train_source =
+      options_.scheme == TstrScheme::kTstr ? *ctx.generated : *ctx.real;
+  std::vector<const Matrix*> train_pool = Pointers(train_source,
+                                                   options_.max_samples);
+  nn::LstmStack lstm(n, options_.hidden_size, options_.num_layers, rng);
+  nn::Dense head(options_.hidden_size, n, rng);
+  nn::Adam opt(nn::CollectParameters({&lstm, &head}), options_.learning_rate);
+
+  const int64_t train_total = static_cast<int64_t>(train_pool.size());
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const std::vector<int64_t> perm = rng.Permutation(train_total);
+    for (int64_t start = 0; start < train_total; start += options_.batch_size) {
+      const int64_t end = std::min(start + options_.batch_size, train_total);
+      const std::vector<int64_t> idx(perm.begin() + start, perm.begin() + end);
+      std::vector<Var> steps;
+      for (int64_t t = 0; t < l; ++t) steps.push_back(StepBatch(train_pool, idx, t));
+      opt.ZeroGrad();
+      const std::vector<Var> inputs(steps.begin(), steps.end() - 1);
+      const std::vector<Var> outputs = lstm.Forward(inputs);
+      Var loss = ag::MseLoss(head.Forward(outputs[0]), steps[1]);
+      for (int64_t t = 1; t < l - 1; ++t) {
+        loss = loss + ag::MseLoss(head.Forward(outputs[static_cast<size_t>(t)]),
+                                  steps[static_cast<size_t>(t + 1)]);
+      }
+      ag::Backward(ag::ScalarMul(loss, 1.0 / static_cast<double>(l - 1)));
+      opt.ClipGradNorm(5.0);
+      opt.Step();
+    }
+  }
+
+  // ...test on the other side. Under TSTR prefer the held-out real split.
+  const Dataset& test_set =
+      options_.scheme == TstrScheme::kTrts
+          ? *ctx.generated
+          : ((ctx.real_test != nullptr && !ctx.real_test->empty()) ? *ctx.real_test
+                                                                   : *ctx.real);
+  std::vector<const Matrix*> test_pool = Pointers(test_set, options_.max_samples);
+  std::vector<int64_t> all_idx(test_pool.size());
+  for (size_t i = 0; i < test_pool.size(); ++i) all_idx[i] = static_cast<int64_t>(i);
+
+  double abs_err = 0.0;
+  int64_t err_count = 0;
+  if (mode_ == Mode::kNextStep) {
+    std::vector<Var> steps;
+    for (int64_t t = 0; t < l; ++t) steps.push_back(StepBatch(test_pool, all_idx, t));
+    const std::vector<Var> inputs(steps.begin(), steps.end() - 1);
+    const std::vector<Var> outputs = lstm.Forward(inputs);
+    for (int64_t t = 0; t < l - 1; ++t) {
+      const Var pred = head.Forward(outputs[static_cast<size_t>(t)]);
+      const Matrix& truth = steps[static_cast<size_t>(t + 1)].value();
+      for (int64_t i = 0; i < truth.size(); ++i) {
+        abs_err += std::fabs(pred.value()[i] - truth[i]);
+        ++err_count;
+      }
+    }
+  } else {
+    // Free-run after a warm-up prefix of true values.
+    const int64_t warm = std::max<int64_t>(1, l / 4);
+    std::vector<Var> steps;
+    for (int64_t t = 0; t < l; ++t) steps.push_back(StepBatch(test_pool, all_idx, t));
+    std::vector<Var> fed;
+    std::vector<Var> preds;
+    Var current = steps[0];
+    for (int64_t t = 0; t < l - 1; ++t) {
+      fed.push_back(current);
+      const std::vector<Var> outputs = lstm.Forward(fed);
+      const Var pred = head.Forward(outputs.back());
+      preds.push_back(pred);
+      current = (t + 1 < warm) ? steps[static_cast<size_t>(t + 1)] : pred;
+    }
+    for (int64_t t = warm; t < l; ++t) {
+      const Matrix& truth = steps[static_cast<size_t>(t)].value();
+      const Matrix& pred = preds[static_cast<size_t>(t - 1)].value();
+      for (int64_t i = 0; i < truth.size(); ++i) {
+        abs_err += std::fabs(pred[i] - truth[i]);
+        ++err_count;
+      }
+    }
+  }
+  return err_count == 0 ? 0.0 : abs_err / static_cast<double>(err_count);
+}
+
+double ContextFid::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  TSG_CHECK(ctx.embedder != nullptr) << "C-FID requires a fitted embedder";
+  const int64_t cap = 512;
+  const Matrix real_emb = ctx.embedder->Embed(
+      ctx.real->Head(cap).samples());
+  const Matrix gen_emb = ctx.embedder->Embed(ctx.generated->Head(cap).samples());
+  auto fid = distance::FrechetDistance(real_emb, gen_emb);
+  TSG_CHECK(fid.ok()) << fid.status().ToString();
+  return fid.value();
+}
+
+double MarginalDistributionDifference::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  const int64_t n = ctx.real->num_features();
+  const int64_t l = ctx.real->seq_len();
+  double total = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t t = 0; t < l; ++t) {
+      const std::vector<double> real_vals = ctx.real->FeatureValuesAt(j, t);
+      // Both histograms share bin edges frozen on the real values at this cell.
+      stats::Histogram real_hist = stats::Histogram::FitRange(real_vals, num_bins_);
+      stats::Histogram gen_hist = real_hist;
+      real_hist.AddAll(real_vals);
+      gen_hist.AddAll(ctx.generated->FeatureValuesAt(j, t));
+      total += real_hist.MeanAbsDiff(gen_hist);
+    }
+  }
+  return total / static_cast<double>(n * l);
+}
+
+double AutocorrelationDifference::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  const int64_t n = ctx.real->num_features();
+  const int64_t l = ctx.real->seq_len();
+  const int64_t max_lag = max_lag_ > 0 ? std::min(max_lag_, l - 1)
+                                       : std::min<int64_t>(l - 1, 32);
+
+  auto mean_acf = [&](const Dataset& ds, int64_t j) {
+    std::vector<double> acc(static_cast<size_t>(max_lag + 1), 0.0);
+    const int64_t count = std::min<int64_t>(ds.num_samples(), 256);
+    for (int64_t i = 0; i < count; ++i) {
+      std::vector<double> col(static_cast<size_t>(l));
+      for (int64_t t = 0; t < l; ++t) col[static_cast<size_t>(t)] = ds.sample(i)(t, j);
+      const std::vector<double> acf = signal::Autocorrelation(col, max_lag);
+      for (size_t k = 0; k < acf.size(); ++k) acc[k] += acf[k];
+    }
+    for (double& v : acc) v /= static_cast<double>(count);
+    return acc;
+  };
+
+  double total = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const std::vector<double> real_acf = mean_acf(*ctx.real, j);
+    const std::vector<double> gen_acf = mean_acf(*ctx.generated, j);
+    double s = 0.0;
+    for (int64_t k = 1; k <= max_lag; ++k) {
+      s += std::fabs(real_acf[static_cast<size_t>(k)] -
+                     gen_acf[static_cast<size_t>(k)]);
+    }
+    total += s / static_cast<double>(max_lag);
+  }
+  return total / static_cast<double>(n);
+}
+
+double SkewnessDifference::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  const int64_t n = ctx.real->num_features();
+  double total = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const auto real_m = stats::ComputeMoments(ctx.real->FeatureValues(j));
+    const auto gen_m = stats::ComputeMoments(ctx.generated->FeatureValues(j));
+    total += std::fabs(gen_m.skewness - real_m.skewness);
+  }
+  return total / static_cast<double>(n);
+}
+
+double KurtosisDifference::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  const int64_t n = ctx.real->num_features();
+  double total = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const auto real_m = stats::ComputeMoments(ctx.real->FeatureValues(j));
+    const auto gen_m = stats::ComputeMoments(ctx.generated->FeatureValues(j));
+    total += std::fabs(gen_m.kurtosis - real_m.kurtosis);
+  }
+  return total / static_cast<double>(n);
+}
+
+double EuclideanDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  const int64_t pairs =
+      std::min(ctx.real->num_samples(), ctx.generated->num_samples());
+  double total = 0.0;
+  for (int64_t i = 0; i < pairs; ++i) {
+    total += distance::EuclideanDistance(ctx.real->sample(i), ctx.generated->sample(i));
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double DtwDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  const int64_t pairs =
+      std::min(ctx.real->num_samples(), ctx.generated->num_samples());
+  double total = 0.0;
+  for (int64_t i = 0; i < pairs; ++i) {
+    total += strategy_ == Strategy::kDependent
+                 ? distance::DtwDistance(ctx.real->sample(i),
+                                         ctx.generated->sample(i), band_)
+                 : distance::DtwIndependent(ctx.real->sample(i),
+                                            ctx.generated->sample(i), band_);
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double MmdMeasure::Evaluate(const MeasureContext& ctx) const {
+  CheckContext(ctx);
+  const int64_t cap = 256;
+  const Matrix real_flat = ctx.real->Head(cap).Flatten();
+  const Matrix gen_flat = ctx.generated->Head(cap).Flatten();
+  return distance::RbfMmd(real_flat, gen_flat, gamma_);
+}
+
+std::vector<std::unique_ptr<Measure>> DefaultMeasureSuite(bool include_ps_entire) {
+  std::vector<std::unique_ptr<Measure>> suite;
+  suite.push_back(std::make_unique<DiscriminativeScore>());
+  suite.push_back(std::make_unique<PredictiveScore>(PredictiveScore::Mode::kNextStep));
+  if (include_ps_entire) {
+    suite.push_back(std::make_unique<PredictiveScore>(PredictiveScore::Mode::kEntire));
+  }
+  suite.push_back(std::make_unique<ContextFid>());
+  suite.push_back(std::make_unique<MarginalDistributionDifference>());
+  suite.push_back(std::make_unique<AutocorrelationDifference>());
+  suite.push_back(std::make_unique<SkewnessDifference>());
+  suite.push_back(std::make_unique<KurtosisDifference>());
+  suite.push_back(std::make_unique<EuclideanDistanceMeasure>());
+  suite.push_back(std::make_unique<DtwDistanceMeasure>());
+  return suite;
+}
+
+}  // namespace tsg::core

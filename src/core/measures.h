@@ -1,0 +1,198 @@
+#ifndef TSG_CORE_MEASURES_H_
+#define TSG_CORE_MEASURES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "embed/embedder.h"
+
+namespace tsg::core {
+
+/// Everything a measure may need: the real train split (the evaluation reference the
+/// paper compares against, T_s^tr), the held-out real split, the generated set, and a
+/// context embedder fitted on the real train split (for C-FID). For the
+/// distance-based measures the harness generates exactly one sample per reference
+/// sample and pairs them by index — the convention that makes the Table 4
+/// "identical input" rows exactly zero.
+struct MeasureContext {
+  const Dataset* real = nullptr;
+  const Dataset* real_test = nullptr;
+  const Dataset* generated = nullptr;
+  const embed::SequenceEmbedder* embedder = nullptr;
+  uint64_t seed = 0;
+};
+
+/// A single evaluation measure (M1-M7, M11, M12). Lower is better for all of them.
+/// Training time (M8) is recorded by the harness; the visualizations (M9, M10) live
+/// in core/visualize.h since they emit artifacts rather than one scalar.
+class Measure {
+ public:
+  virtual ~Measure() = default;
+  Measure() = default;
+  Measure(const Measure&) = delete;
+  Measure& operator=(const Measure&) = delete;
+
+  virtual double Evaluate(const MeasureContext& ctx) const = 0;
+  virtual std::string name() const = 0;
+
+  /// True for the TSTR model-based measures whose value depends on post-hoc network
+  /// training (the robustness concern the paper studies in §6.3).
+  virtual bool stochastic() const { return false; }
+};
+
+/// M1: Discriminative Score — a post-hoc 2-layer LSTM classifier is trained to tell
+/// real from generated windows; DS = |0.5 - test accuracy|.
+class DiscriminativeScore : public Measure {
+ public:
+  struct Options {
+    int64_t hidden_size = 8;
+    int num_layers = 2;
+    int epochs = 6;
+    int64_t batch_size = 64;
+    double learning_rate = 1e-2;
+    int64_t max_samples_per_class = 128;
+  };
+  DiscriminativeScore() : options_(Options()) {}
+  explicit DiscriminativeScore(Options options) : options_(options) {}
+
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override { return "DS"; }
+  bool stochastic() const override { return true; }
+
+ private:
+  Options options_;
+};
+
+/// Evaluation scheme for the model-based measures: TSTR ("Train on Synthetic, Test
+/// on Real", the paper's default, §2.2) or the TRTS alternative it mentions
+/// ("Train on Real, Test on Synthetic") which swaps the roles of the two sets.
+enum class TstrScheme { kTstr, kTrts };
+
+/// M2: Predictive Score — a 2-layer LSTM forecaster trained on one set and scored by
+/// MAE on the other (TSTR by default). kNextStep predicts x_{t+1} from the true
+/// history (TimeGAN's protocol); kEntire free-runs the whole horizon after a short
+/// warm-up (GT-GAN's protocol, the "PS (entire)" Table 4 row).
+class PredictiveScore : public Measure {
+ public:
+  enum class Mode { kNextStep, kEntire };
+  struct Options {
+    int64_t hidden_size = 8;
+    int num_layers = 2;
+    int epochs = 6;
+    int64_t batch_size = 64;
+    double learning_rate = 1e-2;
+    int64_t max_samples = 128;
+    TstrScheme scheme = TstrScheme::kTstr;
+  };
+  explicit PredictiveScore(Mode mode) : mode_(mode), options_(Options()) {}
+  PredictiveScore(Mode mode, Options options) : mode_(mode), options_(options) {}
+
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override {
+    std::string base = mode_ == Mode::kNextStep ? "PS" : "PS(entire)";
+    if (options_.scheme == TstrScheme::kTrts) base += "[TRTS]";
+    return base;
+  }
+  bool stochastic() const override { return true; }
+
+ private:
+  Mode mode_;
+  Options options_;
+};
+
+/// M3: Contextual-FID — Frechet distance between Gaussians fit to the real and
+/// generated sets in the embedding space of ctx.embedder (ts2vec substitute).
+class ContextFid : public Measure {
+ public:
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override { return "C-FID"; }
+};
+
+/// M4: Marginal Distribution Difference — per (feature, time step) histograms with
+/// bin edges frozen on the real data; mean absolute bin-probability difference.
+class MarginalDistributionDifference : public Measure {
+ public:
+  explicit MarginalDistributionDifference(int num_bins = 20) : num_bins_(num_bins) {}
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override { return "MDD"; }
+
+ private:
+  int num_bins_;
+};
+
+/// M5: AutoCorrelation Difference — mean |ACF_real - ACF_gen| over lags and features,
+/// with per-sample ACFs averaged within each set first.
+class AutocorrelationDifference : public Measure {
+ public:
+  explicit AutocorrelationDifference(int64_t max_lag = 0) : max_lag_(max_lag) {}
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override { return "ACD"; }
+
+ private:
+  int64_t max_lag_;  ///< 0 = min(l - 1, 32).
+};
+
+/// M6: Skewness Difference (Eq. 1), averaged over features.
+class SkewnessDifference : public Measure {
+ public:
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override { return "SD"; }
+};
+
+/// M7: Kurtosis Difference (Eq. 2), averaged over features.
+class KurtosisDifference : public Measure {
+ public:
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override { return "KD"; }
+};
+
+/// M11: mean index-paired Euclidean distance.
+class EuclideanDistanceMeasure : public Measure {
+ public:
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override { return "ED"; }
+};
+
+/// M12: mean index-paired multivariate DTW distance. The default is *dependent*
+/// DTW (one shared warping path); kIndependent warps each dimension separately —
+/// the alternative strategy from the multi-dimensional-DTW study the paper cites.
+class DtwDistanceMeasure : public Measure {
+ public:
+  enum class Strategy { kDependent, kIndependent };
+  explicit DtwDistanceMeasure(int64_t band = -1,
+                              Strategy strategy = Strategy::kDependent)
+      : band_(band), strategy_(strategy) {}
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override {
+    return strategy_ == Strategy::kDependent ? "DTW" : "DTW(indep)";
+  }
+
+ private:
+  int64_t band_;
+  Strategy strategy_;
+};
+
+/// Extension: unbiased RBF-kernel Maximum Mean Discrepancy between flattened real
+/// and generated windows — the statistic RGAN's training objective is built on.
+/// Not part of the paper's twelve-measure suite (§2.2 drops low-prevalence
+/// measures), but exposed for analysis and the ablation benches.
+class MmdMeasure : public Measure {
+ public:
+  explicit MmdMeasure(double gamma = -1.0) : gamma_(gamma) {}
+  double Evaluate(const MeasureContext& ctx) const override;
+  std::string name() const override { return "MMD"; }
+
+ private:
+  double gamma_;
+};
+
+/// The ten scalar measures in the paper's reporting order:
+/// DS, PS, PS(entire) [optional], C-FID, MDD, ACD, SD, KD, ED, DTW.
+std::vector<std::unique_ptr<Measure>> DefaultMeasureSuite(bool include_ps_entire);
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_MEASURES_H_

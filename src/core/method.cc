@@ -1,0 +1,13 @@
+#include "core/method.h"
+
+#include <algorithm>
+
+namespace tsg::core {
+
+void ClampToUnit(Matrix& sample) {
+  for (int64_t i = 0; i < sample.size(); ++i) {
+    sample[i] = std::clamp(sample[i], 0.0, 1.0);
+  }
+}
+
+}  // namespace tsg::core

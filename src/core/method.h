@@ -1,0 +1,54 @@
+#ifndef TSG_CORE_METHOD_H_
+#define TSG_CORE_METHOD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "core/dataset.h"
+
+namespace tsg::core {
+
+/// Training configuration shared by all TSG methods. Per the paper's scope rule
+/// (§2.2), hyper-parameters stay fixed across datasets; only the global budget knobs
+/// here vary between quick runs and paper-scale runs.
+struct FitOptions {
+  /// Multiplies every method's built-in epoch count. 1.0 = the default budget used by
+  /// the bench binaries; raise for higher-fidelity runs.
+  double epoch_scale = 1.0;
+  int64_t batch_size = 32;
+  uint64_t seed = 42;
+  /// 0 = silent, 1 = per-phase progress lines on stderr.
+  int verbosity = 0;
+};
+
+/// Interface every TSG method (A1-A10) implements. The lifecycle is
+/// Fit(train) -> Generate(count): generation must be usable repeatedly and
+/// independently after a single Fit.
+class TsgMethod {
+ public:
+  virtual ~TsgMethod() = default;
+  TsgMethod() = default;
+  TsgMethod(const TsgMethod&) = delete;
+  TsgMethod& operator=(const TsgMethod&) = delete;
+
+  /// Trains the generative model on `train` ((R, l, N) in [0,1]).
+  virtual Status Fit(const Dataset& train, const FitOptions& options) = 0;
+
+  /// Samples `count` synthetic series of the fitted shape (l x N).
+  virtual std::vector<Matrix> Generate(int64_t count, Rng& rng) const = 0;
+
+  /// Stable display name ("TimeGAN", "TimeVAE", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Clamps generated values into the data range [0, 1]; every method applies this as
+/// its final generation step since the preprocessed data lives in that range.
+void ClampToUnit(Matrix& sample);
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_METHOD_H_

@@ -1,0 +1,107 @@
+#include "core/preprocess.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/check.h"
+#include "signal/acf.h"
+
+namespace tsg::core {
+
+std::vector<Matrix> SlidingWindows(const Matrix& series, int64_t window_length) {
+  TSG_CHECK_GE(window_length, 2);
+  TSG_CHECK_GE(series.rows(), window_length);
+  const int64_t r = series.rows() - window_length + 1;
+  std::vector<Matrix> windows;
+  windows.reserve(static_cast<size_t>(r));
+  for (int64_t start = 0; start < r; ++start) {
+    windows.push_back(series.Block(start, 0, window_length, series.cols()));
+  }
+  return windows;
+}
+
+void MinMaxNormalize(Matrix& series, std::vector<double>* mins,
+                     std::vector<double>* maxs) {
+  const int64_t n = series.cols();
+  std::vector<double> lo(n, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(n, -std::numeric_limits<double>::infinity());
+  for (int64_t t = 0; t < series.rows(); ++t) {
+    for (int64_t j = 0; j < n; ++j) {
+      lo[static_cast<size_t>(j)] = std::min(lo[static_cast<size_t>(j)], series(t, j));
+      hi[static_cast<size_t>(j)] = std::max(hi[static_cast<size_t>(j)], series(t, j));
+    }
+  }
+  for (int64_t t = 0; t < series.rows(); ++t) {
+    for (int64_t j = 0; j < n; ++j) {
+      const double range = hi[static_cast<size_t>(j)] - lo[static_cast<size_t>(j)];
+      series(t, j) =
+          range > 0 ? (series(t, j) - lo[static_cast<size_t>(j)]) / range : 0.0;
+    }
+  }
+  if (mins != nullptr) *mins = std::move(lo);
+  if (maxs != nullptr) *maxs = std::move(hi);
+}
+
+Preprocessed Preprocess(const data::RawSeries& raw, const PreprocessOptions& options) {
+  Preprocessed out;
+
+  // 0. Resolve the window length.
+  int64_t l = options.window_length;
+  if (l == 0) {
+    l = raw.window_length;
+  } else if (l < 0) {
+    // ACF-based choice on the first feature: at least one full period per window.
+    std::vector<double> first(static_cast<size_t>(raw.values.rows()));
+    for (int64_t t = 0; t < raw.values.rows(); ++t) {
+      first[static_cast<size_t>(t)] = raw.values(t, 0);
+    }
+    l = signal::SuggestWindowLength(first, /*min_len=*/8,
+                                    std::min<int64_t>(256, raw.values.rows() / 4));
+  }
+  out.window_length = l;
+
+  // 1a. Optional normalization before windowing (pipeline default).
+  Matrix series = raw.values;
+  if (options.normalize && options.normalize_before_windowing) {
+    MinMaxNormalize(series, &out.feature_min, &out.feature_max);
+  }
+
+  // 1b. Overlapping windows, stride 1: R = L - l + 1.
+  std::vector<Matrix> windows = SlidingWindows(series, l);
+
+  // 1c. Normalization after windowing (ablation path): statistics over all windows.
+  if (options.normalize && !options.normalize_before_windowing) {
+    const int64_t n = series.cols();
+    std::vector<double> lo(n, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(n, -std::numeric_limits<double>::infinity());
+    for (const Matrix& w : windows) {
+      for (int64_t t = 0; t < w.rows(); ++t) {
+        for (int64_t j = 0; j < n; ++j) {
+          lo[static_cast<size_t>(j)] = std::min(lo[static_cast<size_t>(j)], w(t, j));
+          hi[static_cast<size_t>(j)] = std::max(hi[static_cast<size_t>(j)], w(t, j));
+        }
+      }
+    }
+    for (Matrix& w : windows) {
+      for (int64_t t = 0; t < w.rows(); ++t) {
+        for (int64_t j = 0; j < n; ++j) {
+          const double range = hi[static_cast<size_t>(j)] - lo[static_cast<size_t>(j)];
+          w(t, j) = range > 0 ? (w(t, j) - lo[static_cast<size_t>(j)]) / range : 0.0;
+        }
+      }
+    }
+    out.feature_min = lo;
+    out.feature_max = hi;
+  }
+
+  // 2. Shuffle towards i.i.d.; 3. split 9:1.
+  Dataset all(raw.name, std::move(windows));
+  Rng rng(options.shuffle_seed);
+  all = all.Shuffled(rng);
+  auto [train, test] = all.Split(options.train_fraction);
+  out.train = std::move(train);
+  out.test = std::move(test);
+  return out;
+}
+
+}  // namespace tsg::core

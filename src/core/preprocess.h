@@ -1,0 +1,53 @@
+#ifndef TSG_CORE_PREPROCESS_H_
+#define TSG_CORE_PREPROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "data/simulators.h"
+
+namespace tsg::core {
+
+/// The paper's §4.1 standardized preprocessing pipeline:
+///   1. segment the long series into R = L - l + 1 overlapping windows (stride 1),
+///      with l either fixed or chosen from the autocorrelation function so each
+///      window covers at least one period;
+///   2. shuffle windows to approximate an i.i.d. sample distribution;
+///   3. split train:test 9:1;
+///   4. min-max normalize to [0, 1].
+struct PreprocessOptions {
+  /// Window length. 0 = use the dataset's paper-specified l; -1 = choose by ACF.
+  int64_t window_length = 0;
+  double train_fraction = 0.9;
+  bool normalize = true;
+  /// Normalize using statistics of the full long series *before* windowing (the
+  /// pipeline default). The ablation bench flips this to per-window-set statistics
+  /// computed after segmentation to quantify the discrepancy the paper warns about.
+  bool normalize_before_windowing = true;
+  uint64_t shuffle_seed = 7;
+};
+
+struct Preprocessed {
+  Dataset train;
+  Dataset test;
+  int64_t window_length = 0;
+  /// Per-feature min/max used for normalization (for denormalizing outputs).
+  std::vector<double> feature_min;
+  std::vector<double> feature_max;
+};
+
+/// Runs the pipeline on a raw simulated (or loaded) long series.
+Preprocessed Preprocess(const data::RawSeries& raw, const PreprocessOptions& options);
+
+/// Windows a long (L x N) series into R = L - l + 1 overlapping (l x N) samples.
+std::vector<Matrix> SlidingWindows(const Matrix& series, int64_t window_length);
+
+/// Min-max normalizes `series` columns to [0, 1] in place; returns {min, max} per
+/// feature. Constant features map to 0.
+void MinMaxNormalize(Matrix& series, std::vector<double>* mins,
+                     std::vector<double>* maxs);
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_PREPROCESS_H_

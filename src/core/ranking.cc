@@ -1,0 +1,128 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace tsg::core {
+
+RankingAnalysis::RankingAnalysis(std::vector<CellResult> cells,
+                                 std::vector<std::string> methods,
+                                 std::vector<std::string> datasets,
+                                 std::vector<std::string> measures)
+    : cells_(std::move(cells)),
+      methods_(std::move(methods)),
+      datasets_(std::move(datasets)),
+      measures_(std::move(measures)) {}
+
+double RankingAnalysis::Score(const std::string& method, const std::string& dataset,
+                              const std::string& measure) const {
+  for (const CellResult& c : cells_) {
+    if (c.method == method && c.dataset == dataset && c.measure == measure) {
+      return c.mean;
+    }
+  }
+  TSG_CHECK(false) << "missing cell " << method << "/" << dataset << "/" << measure;
+  return 0.0;
+}
+
+namespace {
+
+linalg::Matrix RankPerBlockSet(
+    const RankingAnalysis& analysis,
+    const std::vector<std::string>& outer,   // One output row per entry.
+    const std::vector<std::string>& blocks,  // Averaged (ranked) across these.
+    bool outer_is_measure,
+    const std::function<double(const std::string&, const std::string&,
+                               const std::string&)>& score) {
+  const int64_t k = static_cast<int64_t>(analysis.methods().size());
+  linalg::Matrix out(static_cast<int64_t>(outer.size()), k);
+  for (size_t oi = 0; oi < outer.size(); ++oi) {
+    std::vector<double> avg(static_cast<size_t>(k), 0.0);
+    for (const std::string& block : blocks) {
+      std::vector<double> scores(static_cast<size_t>(k));
+      for (int64_t m = 0; m < k; ++m) {
+        const std::string& method = analysis.methods()[static_cast<size_t>(m)];
+        scores[static_cast<size_t>(m)] =
+            outer_is_measure ? score(method, block, outer[oi])
+                             : score(method, outer[oi], block);
+      }
+      const std::vector<double> ranks = stats::RankWithTies(scores);
+      for (int64_t m = 0; m < k; ++m) avg[static_cast<size_t>(m)] += ranks[m];
+    }
+    for (int64_t m = 0; m < k; ++m) {
+      out(static_cast<int64_t>(oi), m) =
+          avg[static_cast<size_t>(m)] / static_cast<double>(blocks.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+linalg::Matrix RankingAnalysis::RankPerMeasure() const {
+  auto score = [this](const std::string& m, const std::string& d,
+                      const std::string& meas) { return Score(m, d, meas); };
+  return RankPerBlockSet(*this, measures_, datasets_, /*outer_is_measure=*/true,
+                         score);
+}
+
+linalg::Matrix RankingAnalysis::RankPerDataset() const {
+  auto score = [this](const std::string& m, const std::string& d,
+                      const std::string& meas) { return Score(m, d, meas); };
+  return RankPerBlockSet(*this, datasets_, measures_, /*outer_is_measure=*/false,
+                         score);
+}
+
+RankingAnalysis::Overall RankingAnalysis::ComputeOverall(double alpha) const {
+  const int64_t blocks =
+      static_cast<int64_t>(datasets_.size() * measures_.size());
+  const int64_t k = static_cast<int64_t>(methods_.size());
+  linalg::Matrix scores(blocks, k);
+  int64_t row = 0;
+  for (const std::string& dataset : datasets_) {
+    for (const std::string& measure : measures_) {
+      for (int64_t m = 0; m < k; ++m) {
+        scores(row, m) = Score(methods_[static_cast<size_t>(m)], dataset, measure);
+      }
+      ++row;
+    }
+  }
+  Overall overall;
+  overall.friedman = stats::FriedmanTest(scores);
+  overall.conover_p = stats::ConoverFriedmanPValues(overall.friedman);
+  overall.tiers =
+      stats::CriticalDifferenceTiers(overall.friedman, overall.conover_p, alpha);
+  return overall;
+}
+
+std::string RankingAnalysis::RenderCriticalDifference(const Overall& overall) const {
+  const int64_t k = static_cast<int64_t>(methods_.size());
+  std::vector<int64_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return overall.friedman.average_ranks[static_cast<size_t>(a)] <
+           overall.friedman.average_ranks[static_cast<size_t>(b)];
+  });
+
+  std::ostringstream os;
+  os << "Friedman chi2 = " << overall.friedman.statistic
+     << ", p = " << overall.friedman.p_value << "\n";
+  int current_tier = -1;
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t m = order[static_cast<size_t>(i)];
+    const int tier = overall.tiers[static_cast<size_t>(m)];
+    if (tier != current_tier) {
+      os << "Tier " << tier + 1 << ":\n";
+      current_tier = tier;
+    }
+    os << "  " << methods_[static_cast<size_t>(m)] << "  (avg rank "
+       << overall.friedman.average_ranks[static_cast<size_t>(m)] << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace tsg::core

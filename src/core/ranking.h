@@ -1,0 +1,65 @@
+#ifndef TSG_CORE_RANKING_H_
+#define TSG_CORE_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "stats/rank_tests.h"
+
+namespace tsg::core {
+
+/// One cell of the benchmarking grid: a (method, dataset, measure) score.
+struct CellResult {
+  std::string method;
+  std::string dataset;
+  std::string measure;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// §6.4 ranking analysis over the grid.
+class RankingAnalysis {
+ public:
+  RankingAnalysis(std::vector<CellResult> cells, std::vector<std::string> methods,
+                  std::vector<std::string> datasets,
+                  std::vector<std::string> measures);
+
+  /// Figure 1 (left): average rank of each method per measure, across datasets.
+  /// Rows = measures, cols = methods.
+  linalg::Matrix RankPerMeasure() const;
+
+  /// Figure 1 (right): average rank of each method per dataset, across measures.
+  /// Rows = datasets, cols = methods.
+  linalg::Matrix RankPerDataset() const;
+
+  /// Figure 8: Friedman test over all (dataset, measure) blocks, Conover post-hoc
+  /// p-values, and the statistical tiers.
+  struct Overall {
+    stats::FriedmanResult friedman;
+    linalg::Matrix conover_p;
+    std::vector<int> tiers;
+  };
+  Overall ComputeOverall(double alpha = 0.05) const;
+
+  /// Text rendering of the Figure 8 critical-difference diagram.
+  std::string RenderCriticalDifference(const Overall& overall) const;
+
+  const std::vector<std::string>& methods() const { return methods_; }
+  const std::vector<std::string>& datasets() const { return datasets_; }
+  const std::vector<std::string>& measures() const { return measures_; }
+
+ private:
+  /// Score of (method, dataset, measure); aborts on a missing cell.
+  double Score(const std::string& method, const std::string& dataset,
+               const std::string& measure) const;
+
+  std::vector<CellResult> cells_;
+  std::vector<std::string> methods_;
+  std::vector<std::string> datasets_;
+  std::vector<std::string> measures_;
+};
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_RANKING_H_

@@ -1,0 +1,140 @@
+#include "core/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "signal/acf.h"
+
+namespace tsg::core {
+
+DatasetProfile ProfileDataset(const Dataset& train) {
+  TSG_CHECK(!train.empty());
+  DatasetProfile profile;
+  profile.num_samples = train.num_samples();
+  profile.seq_len = train.seq_len();
+  profile.num_features = train.num_features();
+
+  // Mean |ACF| over short lags, averaged across features and a sample subset.
+  const int64_t max_lag = std::min<int64_t>(8, train.seq_len() - 1);
+  if (max_lag >= 1) {
+    double total = 0.0;
+    int64_t terms = 0;
+    const int64_t sample_cap = std::min<int64_t>(train.num_samples(), 32);
+    for (int64_t i = 0; i < sample_cap; ++i) {
+      for (int64_t j = 0; j < train.num_features(); ++j) {
+        std::vector<double> column(static_cast<size_t>(train.seq_len()));
+        for (int64_t t = 0; t < train.seq_len(); ++t) {
+          column[static_cast<size_t>(t)] = train.sample(i)(t, j);
+        }
+        const auto acf = signal::Autocorrelation(column, max_lag);
+        for (int64_t k = 1; k <= max_lag; ++k) {
+          total += std::fabs(acf[static_cast<size_t>(k)]);
+          ++terms;
+        }
+      }
+    }
+    profile.mean_abs_acf = terms > 0 ? total / static_cast<double>(terms) : 0.0;
+  }
+
+  profile.small_data = profile.num_samples < 500;
+  profile.high_dimensional = profile.num_features > 10;
+  profile.long_sequence = profile.seq_len >= 100;
+  return profile;
+}
+
+namespace {
+
+void AddUnique(std::vector<std::string>& list, const std::string& item) {
+  if (std::find(list.begin(), list.end(), item) == list.end()) {
+    list.push_back(item);
+  }
+}
+
+}  // namespace
+
+Recommendation Recommend(const DatasetProfile& profile, ApplicationGoal goal) {
+  Recommendation rec;
+
+  // Rule (1): start with the VAE family — consistent leaders, fastest training.
+  AddUnique(rec.methods, "TimeVAE");
+  AddUnique(rec.methods, "LS4");
+  rec.rationale.push_back(
+      "rule 1: VAE-family first (TimeVAE, LS4) — leading performance with "
+      "superior training efficiency");
+
+  // Rule (2): autocorrelation / forecasting emphasis -> Fourier Flow; complex
+  // multivariate relationships -> COSCI-GAN.
+  if (goal == ApplicationGoal::kForecasting || profile.mean_abs_acf > 0.35) {
+    AddUnique(rec.methods, "FourierFlow");
+    rec.rationale.push_back(
+        "rule 2: strong temporal dependencies -> FourierFlow (best ACD)");
+  }
+  if (profile.high_dimensional) {
+    AddUnique(rec.methods, "COSCI-GAN");
+    rec.rationale.push_back(
+        "rule 2: N > 10 -> COSCI-GAN (multivariate relationship preservation)");
+  }
+
+  // Rule (3): small datasets -> methods that excel in single DA; heterogeneous /
+  // new-domain targets -> cross-DA leaders.
+  if (profile.small_data) {
+    AddUnique(rec.methods, "RTSGAN");
+    AddUnique(rec.methods, "LS4");
+    rec.rationale.push_back(
+        "rule 3: small R -> RTSGAN and LS4 (fast convergence, single-DA leaders)");
+  } else {
+    AddUnique(rec.methods, "TimeVQVAE");
+    rec.rationale.push_back(
+        "rule 3: ample data -> TimeVQVAE joins the shortlist (top-tier overall, "
+        "but training-time intensive)");
+  }
+
+  // Measure selection (§6.5 second list).
+  switch (goal) {
+    case ApplicationGoal::kClassification:
+      AddUnique(rec.measures, "C-FID");
+      AddUnique(rec.measures, "DS");
+      AddUnique(rec.measures, "PS");
+      rec.rationale.push_back(
+          "measures: classification/forecasting downstream -> model-based; start "
+          "with C-FID given DS/PS robustness issues");
+      break;
+    case ApplicationGoal::kForecasting:
+      AddUnique(rec.measures, "ACD");
+      AddUnique(rec.measures, "C-FID");
+      AddUnique(rec.measures, "PS");
+      rec.rationale.push_back("measures: forecasting -> ACD first, then C-FID/PS");
+      break;
+    case ApplicationGoal::kStatisticalMatch:
+      AddUnique(rec.measures, "MDD");
+      AddUnique(rec.measures, "SD");
+      AddUnique(rec.measures, "KD");
+      AddUnique(rec.measures, "ACD");
+      rec.rationale.push_back(
+          "measures: statistical attributes -> feature-based suite");
+      break;
+    case ApplicationGoal::kClustering:
+      AddUnique(rec.measures, "ED");
+      AddUnique(rec.measures, "DTW");
+      rec.rationale.push_back(
+          "measures: clustering -> distance-based metrics discern fine structure");
+      break;
+    case ApplicationGoal::kGeneral:
+      AddUnique(rec.measures, "C-FID");
+      AddUnique(rec.measures, "MDD");
+      AddUnique(rec.measures, "ACD");
+      AddUnique(rec.measures, "ED");
+      rec.rationale.push_back(
+          "measures: general use -> one robust measure per family");
+      break;
+  }
+  if (profile.long_sequence) {
+    rec.rationale.push_back(
+        "note: l >= 100 — expect larger ED/DTW values (paper §6.1); compare "
+        "methods, not absolute numbers");
+  }
+  return rec;
+}
+
+}  // namespace tsg::core

@@ -1,0 +1,55 @@
+#ifndef TSG_CORE_RECOMMEND_H_
+#define TSG_CORE_RECOMMEND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace tsg::core {
+
+/// The paper's §6.5 recommendation guidelines, made executable: given a new
+/// dataset's statistical profile and the user's application emphasis, suggest TSG
+/// methods to try first and the evaluation measures to prioritize. This codifies the
+/// "juxtapose the new dataset's statistics against those catalogued in TSGBench"
+/// strategy and the four numbered selection rules.
+
+/// What the synthetic series will be used for (drives measure selection, §6.5).
+enum class ApplicationGoal {
+  kGeneral,          ///< No particular downstream task.
+  kClassification,   ///< TSTR classification -> model-based measures, C-FID first.
+  kForecasting,      ///< Autocorrelation matters -> ACD, Fourier Flow.
+  kStatisticalMatch, ///< Distribution fidelity -> feature-based measures.
+  kClustering,       ///< Distance structure -> ED/DTW.
+};
+
+/// Statistical profile of a (preprocessed) dataset, the quantities the paper's
+/// analysis correlates with method behaviour (§6.1).
+struct DatasetProfile {
+  int64_t num_samples = 0;   ///< R (train windows).
+  int64_t seq_len = 0;       ///< l.
+  int64_t num_features = 0;  ///< N.
+  double mean_abs_acf = 0.0; ///< Average |ACF| over lags 1..8: periodicity proxy.
+  bool small_data = false;   ///< R below the data-hungry-GAN threshold.
+  bool high_dimensional = false;  ///< N > 10 (paper's feature-measure note).
+  bool long_sequence = false;     ///< l >= 100 (paper's distance-measure note).
+};
+
+/// Computes the profile from a preprocessed training split.
+DatasetProfile ProfileDataset(const Dataset& train);
+
+struct Recommendation {
+  /// Methods to try, most recommended first.
+  std::vector<std::string> methods;
+  /// Measures to prioritize, most relevant first.
+  std::vector<std::string> measures;
+  /// Human-readable rationale lines citing the matching §6.5 rule.
+  std::vector<std::string> rationale;
+};
+
+/// Applies the §6.5 rules to a profile and goal.
+Recommendation Recommend(const DatasetProfile& profile, ApplicationGoal goal);
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_RECOMMEND_H_

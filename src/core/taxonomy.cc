@@ -1,0 +1,87 @@
+#include "core/taxonomy.h"
+
+namespace tsg::core {
+
+const std::vector<TaxonomyEntry>& Taxonomy() {
+  static const auto* kTable = new std::vector<TaxonomyEntry>{
+      {2016, "C-RNN-GAN", "GAN", "Music", false},
+      {2017, "RGAN", "GAN", "General (w/ Medical) TS", true},
+      {2018, "T-CGAN", "GAN", "Irregular TS", false},
+      {2019, "WaveGAN", "GAN", "Audio", false},
+      {2019, "TimeGAN", "GAN", "General TS", true},
+      {2020, "TSGAN", "GAN", "General TS", false},
+      {2020, "DoppelGANger", "GAN", "General TS", false},
+      {2020, "SigCWGAN", "GAN", "Long Financial TS", false},
+      {2020, "Quant GANs", "GAN", "Long Financial TS", false},
+      {2020, "COT-GAN", "GAN", "TS and Video", false},
+      {2021, "Sig-WGAN", "GAN", "Financial TS", false},
+      {2021, "TimeGCI", "GAN", "General TS", false},
+      {2021, "RTSGAN", "GAN", "General (w/ Incomplete) TS", true},
+      {2022, "PSA-GAN", "GAN", "General (w/ Forecasting) TS", false},
+      {2022, "CEGEN", "GAN", "General TS", false},
+      {2022, "TTS-GAN", "GAN", "General TS", false},
+      {2022, "TsT-GAN", "GAN", "General TS", false},
+      {2022, "COSCI-GAN", "GAN", "General TS", true},
+      {2023, "AEC-GAN", "GAN", "Long TS", true},
+      {2023, "TT-AAE", "GAN", "General TS", false},
+      {2021, "TimeVAE", "VAE", "General TS", true},
+      {2023, "CRVAE", "VAE", "Medical TS & Causal Discovery", false},
+      {2023, "TimeVQVAE", "VAE", "General TS", true},
+      {2018, "Neural ODE", "ODE + RNN", "General TS", false},
+      {2019, "ODE-RNN", "ODE + RNN", "Irregular TS", false},
+      {2021, "Neural SDE", "ODE + GAN", "General TS", false},
+      {2022, "GT-GAN", "ODE + GAN", "General (w/ Irregular) TS", true},
+      {2023, "LS4", "ODE + VAE", "General (w/ Forecasting) TS", true},
+      {2020, "CTFP", "Flow", "General TS", false},
+      {2021, "Fourier Flow", "Flow", "General TS", true},
+      {2023, "TSGM", "SGM", "General TS", false},
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& MeasureSurveyColumns() {
+  static const auto* kColumns = new std::vector<std::string>{
+      "DS", "PS", "C-FID", "MDD", "ACD", "SD/KD", "ED/DTW",
+      "t-SNE", "DistPlot", "TrainTime", "MMD/other",
+  };
+  return *kColumns;
+}
+
+const std::vector<MeasureUsage>& MeasureSurvey() {
+  // Reconstructed from the evaluation sections cited throughout the paper's §4.2
+  // (exact per-cell values of Figure 4 are graphical; this captures the pattern the
+  // text describes: DS and PS dominate, feature/distance measures are rare).
+  static const auto* kSurvey = new std::vector<MeasureUsage>{
+      {"RGAN", {true, true, false, false, false, false, false, false, false, false,
+                true}},
+      {"TimeGAN", {true, true, false, false, false, false, false, true, false, false,
+                   false}},
+      {"RTSGAN", {true, true, false, false, false, false, false, true, false, false,
+                  false}},
+      {"COSCI-GAN", {true, false, false, false, false, false, false, false, true,
+                     false, true}},
+      {"AEC-GAN", {true, true, false, false, true, true, false, false, false, false,
+                   false}},
+      {"TimeVAE", {true, true, false, false, false, false, false, true, false, true,
+                   false}},
+      {"TimeVQVAE", {false, false, true, false, false, false, false, true, false,
+                     false, true}},
+      {"Fourier Flow", {false, true, false, true, false, false, false, false, true,
+                        false, false}},
+      {"GT-GAN", {true, true, false, false, false, false, false, true, true, true,
+                  false}},
+      {"LS4", {false, true, false, true, false, false, false, false, true, false,
+               true}},
+      {"PSA-GAN", {false, true, true, false, false, false, false, false, false,
+                   false, false}},
+      {"TimeGCI", {true, true, false, false, false, false, false, false, false,
+                   false, false}},
+      {"Sig-WGAN", {false, false, false, true, true, false, false, false, false,
+                    false, true}},
+      {"TSGBench (this)", {true, true, true, true, true, true, true, true, true,
+                           true, false}},
+  };
+  return *kSurvey;
+}
+
+}  // namespace tsg::core

@@ -1,0 +1,36 @@
+#ifndef TSG_CORE_TAXONOMY_H_
+#define TSG_CORE_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+namespace tsg::core {
+
+/// The paper's §3 taxonomy (Table 2): popular TSG methods with their backbone
+/// generative model and specialty.
+struct TaxonomyEntry {
+  int year;
+  const char* method;
+  const char* model;      ///< "GAN", "VAE", "ODE + RNN", "Flow", ...
+  const char* specialty;
+  bool evaluated;         ///< One of the ten methods (A1-A10) TSGBench evaluates.
+};
+
+/// All 31 Table 2 rows, in the paper's order.
+const std::vector<TaxonomyEntry>& Taxonomy();
+
+/// Figure 4's survey: which evaluation measures each popular TSG method's own paper
+/// used, reconstructed from the citations in §4.2. Columns align with
+/// MeasureSurveyColumns().
+struct MeasureUsage {
+  const char* method;
+  /// One flag per survey column.
+  std::vector<bool> uses;
+};
+
+const std::vector<std::string>& MeasureSurveyColumns();
+const std::vector<MeasureUsage>& MeasureSurvey();
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_TAXONOMY_H_

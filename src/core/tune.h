@@ -1,0 +1,55 @@
+#ifndef TSG_CORE_TUNE_H_
+#define TSG_CORE_TUNE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/method.h"
+
+namespace tsg::core {
+
+/// The paper's future-work item "functionalities that facilitate automatic tuning":
+/// a small successive-halving budget tuner. Candidate FitOptions are trialled on a
+/// validation objective (a cheap deterministic measure evaluated against a held-out
+/// split); the weakest half is dropped at each rung while survivors get a doubled
+/// training budget. Deterministic given the seed.
+struct TuneCandidate {
+  FitOptions options;
+  std::string label;
+};
+
+struct TuneResult {
+  TuneCandidate best;
+  double best_score = 0.0;  ///< Lower is better.
+  /// One line per (rung, candidate) trial for reporting.
+  std::vector<std::string> trials;
+};
+
+struct TuneOptions {
+  /// Training budget (epoch_scale) used at the first rung; doubles per rung.
+  double initial_epoch_scale = 0.05;
+  int rungs = 3;
+  int64_t eval_samples = 64;
+  uint64_t seed = 42;
+};
+
+/// Runs successive halving over `candidates` for the method produced by `factory`.
+/// `objective` scores generated-vs-validation data; lower is better (any
+/// deterministic measure from core/measures.h fits).
+TuneResult TuneMethod(
+    const std::function<std::unique_ptr<TsgMethod>()>& factory,
+    std::vector<TuneCandidate> candidates, const Dataset& train,
+    const Dataset& validation,
+    const std::function<double(const Dataset& reference, const Dataset& generated)>&
+        objective,
+    const TuneOptions& options);
+
+/// A sensible default candidate grid over batch size and seed restarts.
+std::vector<TuneCandidate> DefaultCandidates(uint64_t seed);
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_TUNE_H_

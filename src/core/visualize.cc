@@ -1,0 +1,85 @@
+#include "core/visualize.h"
+
+#include <algorithm>
+
+#include "io/csv.h"
+#include "linalg/decomp.h"
+#include "stats/descriptive.h"
+#include "stats/kde.h"
+
+namespace tsg::core {
+
+VisualizationResult Visualize(const Dataset& real, const Dataset& generated,
+                              const VisualizeOptions& options) {
+  VisualizationResult out;
+
+  // ---- M9: joint t-SNE over flattened windows. ----
+  const Dataset real_head = real.Head(options.max_samples_per_set);
+  const Dataset gen_head = generated.Head(options.max_samples_per_set);
+  const Matrix real_flat = real_head.Flatten();
+  const Matrix gen_flat = gen_head.Flatten();
+  Matrix joint(real_flat.rows() + gen_flat.rows(), real_flat.cols());
+  joint.SetBlock(0, 0, real_flat);
+  joint.SetBlock(real_flat.rows(), 0, gen_flat);
+  out.labels.assign(static_cast<size_t>(joint.rows()), 0);
+  for (int64_t i = 0; i < real_flat.rows(); ++i) out.labels[static_cast<size_t>(i)] = 1;
+  out.tsne_points = embed::Tsne(joint, options.tsne);
+  out.tsne_overlap = embed::NeighborhoodOverlap(out.tsne_points, out.labels);
+
+  // PCA companion view: basis fit on the real windows only, both sets projected.
+  auto pca = linalg::Pca(real_flat, /*k=*/std::min<int64_t>(2, real_flat.cols()));
+  if (pca.ok() && pca.value().components.cols() == 2) {
+    out.pca_points = linalg::PcaTransform(pca.value(), joint);
+    out.pca_overlap = embed::NeighborhoodOverlap(out.pca_points, out.labels);
+  }
+
+  // ---- M10: value-distribution KDE curves on a shared grid. ----
+  const std::vector<double> real_vals = real_head.AllValues();
+  const std::vector<double> gen_vals = gen_head.AllValues();
+  const stats::KernelDensity real_kde(real_vals);
+  const stats::KernelDensity gen_kde(gen_vals);
+  const double lo = std::min(stats::Min(real_vals), stats::Min(gen_vals)) - 0.05;
+  const double hi = std::max(stats::Max(real_vals), stats::Max(gen_vals)) + 0.05;
+  out.grid.resize(static_cast<size_t>(options.kde_points));
+  const double step = (hi - lo) / static_cast<double>(options.kde_points - 1);
+  for (int i = 0; i < options.kde_points; ++i) {
+    out.grid[static_cast<size_t>(i)] = lo + step * i;
+  }
+  out.real_density = real_kde.EvaluateGrid(lo, hi, options.kde_points);
+  out.gen_density = gen_kde.EvaluateGrid(lo, hi, options.kde_points);
+  out.kde_l1 = stats::KdeL1Distance(real_kde, gen_kde, lo, hi, options.kde_points);
+  return out;
+}
+
+Status WriteVisualization(const std::string& prefix, const VisualizationResult& vis) {
+  Matrix tsne(vis.tsne_points.rows(), 3);
+  for (int64_t i = 0; i < tsne.rows(); ++i) {
+    tsne(i, 0) = vis.tsne_points(i, 0);
+    tsne(i, 1) = vis.tsne_points(i, 1);
+    tsne(i, 2) = vis.labels[static_cast<size_t>(i)];
+  }
+  Status s = io::WriteCsv(prefix + "_tsne.csv", {"x", "y", "is_real"}, tsne);
+  if (!s.ok()) return s;
+
+  if (vis.pca_points.rows() == tsne.rows()) {
+    Matrix pca(vis.pca_points.rows(), 3);
+    for (int64_t i = 0; i < pca.rows(); ++i) {
+      pca(i, 0) = vis.pca_points(i, 0);
+      pca(i, 1) = vis.pca_points(i, 1);
+      pca(i, 2) = vis.labels[static_cast<size_t>(i)];
+    }
+    s = io::WriteCsv(prefix + "_pca.csv", {"x", "y", "is_real"}, pca);
+    if (!s.ok()) return s;
+  }
+
+  Matrix density(static_cast<int64_t>(vis.grid.size()), 3);
+  for (int64_t i = 0; i < density.rows(); ++i) {
+    density(i, 0) = vis.grid[static_cast<size_t>(i)];
+    density(i, 1) = vis.real_density[static_cast<size_t>(i)];
+    density(i, 2) = vis.gen_density[static_cast<size_t>(i)];
+  }
+  return io::WriteCsv(prefix + "_density.csv", {"value", "real", "generated"},
+                      density);
+}
+
+}  // namespace tsg::core

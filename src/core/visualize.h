@@ -1,0 +1,53 @@
+#ifndef TSG_CORE_VISUALIZE_H_
+#define TSG_CORE_VISUALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/dataset.h"
+#include "embed/tsne.h"
+
+namespace tsg::core {
+
+/// The two visualization measures (M9 t-SNE, M10 Distribution Plot) from Figure 6.
+/// Since a C++ bench cannot render the figure, the result carries (a) the exact data
+/// the figure plots, ready for CSV export, and (b) scalar summaries so the benches
+/// can print a checkable number: t-SNE neighborhood overlap (0.5 = the real and
+/// generated clouds are perfectly mixed — the ideal) and the KDE L1 gap (0 = the
+/// value distributions coincide).
+struct VisualizationResult {
+  linalg::Matrix tsne_points;   ///< (n_real + n_gen) x 2 embedding coordinates.
+  std::vector<int> labels;      ///< 1 = real, 0 = generated, aligned with rows.
+  double tsne_overlap = 0.0;
+
+  /// PCA companion view (TimeGAN's visualization pairs PCA with t-SNE): the same
+  /// windows projected onto the top-2 principal components of the *real* set, and
+  /// its neighborhood-overlap summary.
+  linalg::Matrix pca_points;
+  double pca_overlap = 0.0;
+
+  std::vector<double> grid;         ///< Common value grid for the KDE curves.
+  std::vector<double> real_density;
+  std::vector<double> gen_density;
+  double kde_l1 = 0.0;
+};
+
+struct VisualizeOptions {
+  int64_t max_samples_per_set = 200;
+  int kde_points = 128;
+  embed::TsneOptions tsne;
+};
+
+/// Computes both visualizations for a real/generated pair.
+VisualizationResult Visualize(const Dataset& real, const Dataset& generated,
+                              const VisualizeOptions& options);
+
+/// Writes `<prefix>_tsne.csv` (x, y, label) and `<prefix>_density.csv`
+/// (value, real_density, gen_density).
+Status WriteVisualization(const std::string& prefix, const VisualizationResult& vis);
+
+}  // namespace tsg::core
+
+#endif  // TSG_CORE_VISUALIZE_H_

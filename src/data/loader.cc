@@ -1,0 +1,32 @@
+#include "data/loader.h"
+
+#include "io/csv.h"
+
+namespace tsg::data {
+
+StatusOr<RawSeries> LoadRawSeriesFromCsv(const std::string& path,
+                                         const std::string& name,
+                                         const LoadOptions& options) {
+  auto matrix = io::ReadCsv(path, options.skip_header);
+  if (!matrix.ok()) return matrix.status();
+  if (matrix.value().rows() < 2) {
+    return Status::InvalidArgument("series too short: " + path);
+  }
+  RawSeries raw;
+  raw.values = std::move(matrix.value());
+  raw.name = name;
+  raw.domain = options.domain;
+  raw.window_length = options.window_length;
+  return raw;
+}
+
+Status SaveRawSeriesToCsv(const std::string& path, const RawSeries& raw) {
+  std::vector<std::string> header;
+  header.reserve(static_cast<size_t>(raw.values.cols()));
+  for (int64_t j = 0; j < raw.values.cols(); ++j) {
+    header.push_back("s" + std::to_string(j));
+  }
+  return io::WriteCsv(path, header, raw.values);
+}
+
+}  // namespace tsg::data

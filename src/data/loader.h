@@ -1,0 +1,35 @@
+#ifndef TSG_DATA_LOADER_H_
+#define TSG_DATA_LOADER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "data/simulators.h"
+
+namespace tsg::data {
+
+/// Loads a raw long multivariate series from CSV (rows = time steps, columns =
+/// features, optional header). This is the bridge for running the benchmark on the
+/// *actual* public datasets when they are available: download e.g. the UCI
+/// Appliances Energy CSV, load it here, and feed the result through the same
+/// core::Preprocess pipeline the simulators use.
+struct LoadOptions {
+  bool skip_header = true;
+  /// Window length to record on the series; 0 lets the caller decide later
+  /// (core::PreprocessOptions::window_length = -1 selects by ACF).
+  int64_t window_length = 0;
+  std::string domain = "Custom";
+};
+
+StatusOr<RawSeries> LoadRawSeriesFromCsv(const std::string& path,
+                                         const std::string& name,
+                                         const LoadOptions& options);
+
+/// Writes a raw series back to CSV (header = s0..s{N-1}); round-trips with the
+/// loader. Useful for exporting simulated datasets to other toolchains.
+Status SaveRawSeriesToCsv(const std::string& path, const RawSeries& raw);
+
+}  // namespace tsg::data
+
+#endif  // TSG_DATA_LOADER_H_

@@ -1,0 +1,413 @@
+#include "data/simulators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "base/check.h"
+
+namespace tsg::data {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+using linalg::Matrix;
+
+struct Spec {
+  DatasetId id;
+  const char* name;
+  PaperStats stats;
+};
+
+constexpr Spec kSpecs[] = {
+    {DatasetId::kDlg, "DLG", {246, 14, 20, "Traffic"}},
+    {DatasetId::kStock, "Stock", {3294, 24, 6, "Financial"}},
+    {DatasetId::kStockLong, "StockLong", {3204, 125, 6, "Financial"}},
+    {DatasetId::kExchange, "Exchange", {6715, 125, 8, "Financial"}},
+    {DatasetId::kEnergy, "Energy", {17739, 24, 28, "Appliances"}},
+    {DatasetId::kEnergyLong, "EnergyLong", {17649, 125, 28, "Appliances"}},
+    {DatasetId::kEeg, "EEG", {13366, 128, 14, "Medical"}},
+    {DatasetId::kHapt, "HAPT", {1514, 128, 6, "Medical"}},
+    {DatasetId::kAir, "Air", {7731, 168, 6, "Sensor"}},
+    {DatasetId::kBoiler, "Boiler", {80935, 192, 11, "Industrial"}},
+};
+
+const Spec& GetSpec(DatasetId id) {
+  for (const Spec& s : kSpecs) {
+    if (s.id == id) return s;
+  }
+  TSG_CHECK(false) << "unknown dataset id";
+  return kSpecs[0];
+}
+
+int64_t ScaledWindows(const PaperStats& stats, const SimulatorOptions& opts) {
+  const int64_t scaled = static_cast<int64_t>(
+      std::llround(static_cast<double>(stats.r) * opts.scale));
+  return std::clamp(scaled, std::min(stats.r, opts.min_windows), stats.r);
+}
+
+// ---- D1: Dodgers Loop Game. Freeway loop-sensor counts with a bimodal regime:
+// ordinary days vs. game days with a traffic surge, the property the paper's
+// Figure 6 discussion highlights (COSCI-GAN struggles with DLG's two modes). ----
+Matrix SimulateDlg(int64_t length, int64_t n, Rng& rng) {
+  Matrix out(length, n);
+  std::vector<double> sensor_level(n), sensor_phase(n);
+  for (int64_t j = 0; j < n; ++j) {
+    sensor_level[j] = rng.Uniform(15.0, 35.0);
+    sensor_phase[j] = rng.Uniform(0.0, 2.0 * kPi);
+  }
+  bool game_day = false;
+  double surge = 0.0;
+  for (int64_t t = 0; t < length; ++t) {
+    if (t % 14 == 0) game_day = rng.Uniform() < 0.35;  // New "day" every window.
+    const double target = game_day ? 1.0 : 0.0;
+    surge += 0.4 * (target - surge);  // Smooth ramp into/out of the surge mode.
+    for (int64_t j = 0; j < n; ++j) {
+      const double daily =
+          6.0 * std::sin(2.0 * kPi * static_cast<double>(t) / 14.0 + sensor_phase[j]);
+      const double base = sensor_level[j] + daily + 25.0 * surge;
+      out(t, j) = std::max(0.0, base + rng.Normal() * 2.0);
+    }
+  }
+  return out;
+}
+
+// ---- D2/D3: Stock. Correlated geometric random walk for OHLC + adjusted close,
+// with a heavy-tailed volume channel, mirroring daily Google stock data. ----
+Matrix SimulateStock(int64_t length, Rng& rng) {
+  Matrix out(length, 6);
+  double log_price = std::log(100.0);
+  double vol_level = 1.0;
+  for (int64_t t = 0; t < length; ++t) {
+    // Stochastic volatility random walk on log price.
+    vol_level = std::max(0.3, vol_level + rng.Normal() * 0.05);
+    const double ret = rng.Normal() * 0.015 * vol_level + 0.0002;
+    log_price += ret;
+    const double close = std::exp(log_price);
+    const double spread = close * 0.01 * vol_level;
+    const double open = close - ret * close + rng.Normal() * spread * 0.3;
+    const double high = std::max(open, close) + std::fabs(rng.Normal()) * spread;
+    const double low = std::min(open, close) - std::fabs(rng.Normal()) * spread;
+    const double volume =
+        std::exp(rng.Normal() * 0.4 + 2.0 + std::fabs(ret) * 25.0);
+    out(t, 0) = volume;
+    out(t, 1) = high;
+    out(t, 2) = low;
+    out(t, 3) = open;
+    out(t, 4) = close;
+    out(t, 5) = close * 0.98;  // Adjusted close tracks close.
+  }
+  return out;
+}
+
+// ---- D4: Exchange. Eight slowly mean-reverting exchange rates that drift between
+// plateaus, producing the multifaceted-peak marginals the paper attributes to
+// Exchange. ----
+Matrix SimulateExchange(int64_t length, Rng& rng) {
+  const int64_t n = 8;
+  Matrix out(length, n);
+  std::vector<double> level(n), anchor(n);
+  for (int64_t j = 0; j < n; ++j) {
+    anchor[j] = rng.Uniform(0.5, 2.0);
+    level[j] = anchor[j];
+  }
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (rng.Uniform() < 0.002) {
+        // Occasional regime move of the anchor -> multi-peaked marginal.
+        anchor[j] *= rng.Uniform(0.92, 1.08);
+      }
+      level[j] += 0.02 * (anchor[j] - level[j]) + rng.Normal() * 0.002 * anchor[j];
+      out(t, j) = level[j];
+    }
+  }
+  return out;
+}
+
+// ---- D5/D6: Energy. 28 appliance channels with a shared daily cycle (period 24),
+// channel-specific phases/amplitudes, and usage spikes. ----
+Matrix SimulateEnergy(int64_t length, Rng& rng) {
+  const int64_t n = 28;
+  Matrix out(length, n);
+  std::vector<double> base(n), amp(n), phase(n), spike_rate(n);
+  for (int64_t j = 0; j < n; ++j) {
+    base[j] = rng.Uniform(40.0, 120.0);
+    amp[j] = rng.Uniform(5.0, 40.0);
+    phase[j] = rng.Uniform(0.0, 2.0 * kPi);
+    spike_rate[j] = rng.Uniform(0.01, 0.06);
+  }
+  std::vector<double> spike(n, 0.0);
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (rng.Uniform() < spike_rate[j]) spike[j] = rng.Uniform(30.0, 120.0);
+      spike[j] *= 0.6;  // Spikes decay quickly.
+      const double daily =
+          amp[j] * std::sin(2.0 * kPi * static_cast<double>(t) / 24.0 + phase[j]);
+      out(t, j) = std::max(0.0, base[j] + daily + spike[j] + rng.Normal() * 4.0);
+    }
+  }
+  return out;
+}
+
+// ---- D7: EEG. 14 electrodes carrying band-limited oscillations (alpha/beta-like)
+// with amplitude modulation and sparse eye-blink artifacts. ----
+Matrix SimulateEeg(int64_t length, Rng& rng) {
+  const int64_t n = 14;
+  Matrix out(length, n);
+  std::vector<double> f1(n), f2(n), p1(n), p2(n), gain(n);
+  for (int64_t j = 0; j < n; ++j) {
+    f1[j] = rng.Uniform(0.06, 0.10);  // "Alpha" band in cycles/sample.
+    f2[j] = rng.Uniform(0.15, 0.25);  // "Beta" band.
+    p1[j] = rng.Uniform(0.0, 2.0 * kPi);
+    p2[j] = rng.Uniform(0.0, 2.0 * kPi);
+    gain[j] = rng.Uniform(8.0, 20.0);
+  }
+  double blink = 0.0;
+  for (int64_t t = 0; t < length; ++t) {
+    if (rng.Uniform() < 0.004) blink = rng.Uniform(60.0, 120.0);
+    blink *= 0.85;
+    const double mod =
+        1.0 + 0.4 * std::sin(2.0 * kPi * static_cast<double>(t) / 256.0);
+    for (int64_t j = 0; j < n; ++j) {
+      const double wave =
+          std::sin(2.0 * kPi * f1[j] * static_cast<double>(t) + p1[j]) +
+          0.5 * std::sin(2.0 * kPi * f2[j] * static_cast<double>(t) + p2[j]);
+      // Frontal channels (first four) pick up the blink artifact most strongly.
+      const double artifact = blink * (j < 4 ? 1.0 : 0.2);
+      out(t, j) = 4300.0 + gain[j] * mod * wave + artifact + rng.Normal() * 3.0;
+    }
+  }
+  return out;
+}
+
+/// Per-user gait parameters for HAPT; `user` indexes DomainLabels(kHapt).
+struct GaitParams {
+  double freq;        ///< Steps per sample (cycles/sample).
+  double acc_amp;     ///< Accelerometer amplitude.
+  double gyro_amp;    ///< Gyroscope amplitude.
+  double harmonic;    ///< Second-harmonic strength (gait asymmetry).
+  double noise;
+};
+
+GaitParams UserGait(int user_index) {
+  // Derived deterministically per user so domains differ but are reproducible.
+  Rng rng(0x9a17u + static_cast<uint64_t>(user_index) * 7919u);
+  GaitParams g;
+  g.freq = rng.Uniform(0.055, 0.095);
+  g.acc_amp = rng.Uniform(0.8, 1.6);
+  g.gyro_amp = rng.Uniform(0.4, 1.0);
+  g.harmonic = rng.Uniform(0.2, 0.6);
+  g.noise = rng.Uniform(0.05, 0.15);
+  return g;
+}
+
+// ---- D8: HAPT. Waist-mounted inertial signals for 'walking': periodic gait with
+// user-specific frequency/amplitude/harmonics — the user is the DA domain. ----
+Matrix SimulateHapt(int64_t length, int user_index, Rng& rng) {
+  const int64_t n = 6;  // 3 accelerometer + 3 gyroscope axes.
+  const GaitParams g = UserGait(user_index);
+  Matrix out(length, n);
+  std::vector<double> phase(n);
+  for (int64_t j = 0; j < n; ++j) phase[j] = rng.Uniform(0.0, 2.0 * kPi);
+  for (int64_t t = 0; t < length; ++t) {
+    const double cycle = 2.0 * kPi * g.freq * static_cast<double>(t);
+    const double stride_mod =
+        1.0 + 0.15 * std::sin(2.0 * kPi * static_cast<double>(t) / 512.0);
+    for (int64_t j = 0; j < n; ++j) {
+      const double amp = (j < 3 ? g.acc_amp : g.gyro_amp) * stride_mod;
+      const double wave = std::sin(cycle + phase[j]) +
+                          g.harmonic * std::sin(2.0 * cycle + 2.0 * phase[j]);
+      const double gravity = (j == 2) ? 9.8 : 0.0;  // Vertical axis offset.
+      out(t, j) = gravity + amp * wave + rng.Normal() * g.noise;
+    }
+  }
+  return out;
+}
+
+/// Per-city climate parameters for Air; `city` indexes DomainLabels(kAir).
+struct CityParams {
+  double base_pm;
+  double daily_amp;
+  double weekly_amp;
+  double ar;
+  double noise;
+};
+
+CityParams CityClimate(int city_index) {
+  Rng rng(0xa12u + static_cast<uint64_t>(city_index) * 104729u);
+  CityParams c;
+  c.base_pm = rng.Uniform(40.0, 110.0);
+  c.daily_amp = rng.Uniform(5.0, 20.0);
+  c.weekly_amp = rng.Uniform(5.0, 15.0);
+  c.ar = rng.Uniform(0.85, 0.97);
+  c.noise = rng.Uniform(3.0, 9.0);
+  return c;
+}
+
+// ---- D9: Air. Hourly air-quality + weather channels with daily (24) and weekly
+// (168) seasonality over an AR(1) backbone; the city is the DA domain. ----
+Matrix SimulateAir(int64_t length, int city_index, Rng& rng) {
+  const int64_t n = 6;  // PM2.5, PM10, NO2, temperature, humidity, wind.
+  const CityParams c = CityClimate(city_index);
+  Matrix out(length, n);
+  double pm = c.base_pm, temp = 15.0;
+  for (int64_t t = 0; t < length; ++t) {
+    const double daily = std::sin(2.0 * kPi * static_cast<double>(t) / 24.0);
+    const double weekly = std::sin(2.0 * kPi * static_cast<double>(t) / 168.0);
+    pm = c.ar * pm + (1.0 - c.ar) * c.base_pm + c.daily_amp * 0.3 * daily +
+         c.weekly_amp * 0.3 * weekly + rng.Normal() * c.noise;
+    pm = std::max(1.0, pm);
+    temp = 0.98 * temp + 0.02 * 15.0 + 2.0 * daily * 0.3 + rng.Normal() * 0.4;
+    out(t, 0) = pm;
+    out(t, 1) = pm * rng.Uniform(1.2, 1.5);                       // PM10 tracks PM2.5.
+    out(t, 2) = 30.0 + 0.2 * pm + 5.0 * daily + rng.Normal() * 2; // NO2.
+    out(t, 3) = temp + 4.0 * daily;
+    out(t, 4) = std::clamp(70.0 - temp + 10.0 * weekly + rng.Normal() * 3.0,
+                           5.0, 100.0);                           // Humidity.
+    out(t, 5) = std::max(0.0, 3.0 + 1.5 * weekly + rng.Normal() * 0.8);  // Wind.
+  }
+  return out;
+}
+
+/// Per-boiler operating parameters; `boiler` indexes DomainLabels(kBoiler).
+struct BoilerParams {
+  double setpoint_scale;
+  double transition_prob;
+  double response;
+  double noise;
+};
+
+BoilerParams BoilerConfig(int boiler_index) {
+  Rng rng(0xb011e4u + static_cast<uint64_t>(boiler_index) * 6151u);
+  BoilerParams b;
+  b.setpoint_scale = rng.Uniform(0.8, 1.25);
+  b.transition_prob = rng.Uniform(0.004, 0.012);
+  b.response = rng.Uniform(0.05, 0.15);
+  b.noise = rng.Uniform(0.5, 1.5);
+  return b;
+}
+
+// ---- D10: Boiler. Eleven sensor channels following a regime-switching operating
+// state (off / ramp / steady), each boiler with its own setpoints — the machine is
+// the DA domain. The paper notes Boiler lacks periodic trends, which this preserves
+// (state switches are Markov, not seasonal). ----
+Matrix SimulateBoiler(int64_t length, int boiler_index, Rng& rng) {
+  const int64_t n = 11;
+  const BoilerParams b = BoilerConfig(boiler_index);
+  // Three operating states with per-channel setpoints.
+  Matrix setpoints(3, n);
+  Rng sp_rng(0x5e7u + static_cast<uint64_t>(boiler_index));
+  for (int64_t s = 0; s < 3; ++s) {
+    for (int64_t j = 0; j < n; ++j) {
+      const double lo = s == 0 ? 5.0 : (s == 1 ? 30.0 : 60.0);
+      const double hi = s == 0 ? 15.0 : (s == 1 ? 55.0 : 95.0);
+      setpoints(s, j) = sp_rng.Uniform(lo, hi) * b.setpoint_scale;
+    }
+  }
+  Matrix out(length, n);
+  int state = 2;
+  std::vector<double> level(n);
+  for (int64_t j = 0; j < n; ++j) level[j] = setpoints(state, j);
+  for (int64_t t = 0; t < length; ++t) {
+    if (rng.Uniform() < b.transition_prob) state = static_cast<int>(rng.UniformInt(3));
+    for (int64_t j = 0; j < n; ++j) {
+      level[j] += b.response * (setpoints(state, j) - level[j]);
+      out(t, j) = level[j] + rng.Normal() * b.noise;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RawSeries Simulate(DatasetId id, const SimulatorOptions& options) {
+  const Spec& spec = GetSpec(id);
+  const int64_t windows = ScaledWindows(spec.stats, options);
+  const int64_t length = windows + spec.stats.l - 1;
+  Rng rng(options.seed ^ (static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ULL) ^
+          (static_cast<uint64_t>(options.domain_index) << 32));
+
+  RawSeries raw;
+  raw.name = spec.name;
+  raw.domain = spec.stats.domain;
+  raw.window_length = spec.stats.l;
+  switch (id) {
+    case DatasetId::kDlg:
+      raw.values = SimulateDlg(length, spec.stats.n, rng);
+      break;
+    case DatasetId::kStock:
+    case DatasetId::kStockLong:
+      raw.values = SimulateStock(length, rng);
+      break;
+    case DatasetId::kExchange:
+      raw.values = SimulateExchange(length, rng);
+      break;
+    case DatasetId::kEnergy:
+    case DatasetId::kEnergyLong:
+      raw.values = SimulateEnergy(length, rng);
+      break;
+    case DatasetId::kEeg:
+      raw.values = SimulateEeg(length, rng);
+      break;
+    case DatasetId::kHapt:
+      raw.values = SimulateHapt(length, options.domain_index, rng);
+      break;
+    case DatasetId::kAir:
+      raw.values = SimulateAir(length, options.domain_index, rng);
+      break;
+    case DatasetId::kBoiler:
+      raw.values = SimulateBoiler(length, options.domain_index, rng);
+      break;
+  }
+  return raw;
+}
+
+std::vector<DatasetId> AllDatasets() {
+  std::vector<DatasetId> ids;
+  for (const Spec& s : kSpecs) ids.push_back(s.id);
+  return ids;
+}
+
+const char* DatasetName(DatasetId id) { return GetSpec(id).name; }
+
+PaperStats GetPaperStats(DatasetId id) { return GetSpec(id).stats; }
+
+std::vector<std::string> DomainLabels(DatasetId id) {
+  switch (id) {
+    case DatasetId::kHapt:
+      // Paper §4.3: source User 14, targets Users 0, 23, 18, 52, 20.
+      return {"User14", "User0", "User23", "User18", "User52", "User20"};
+    case DatasetId::kAir:
+      // Source Tianjin; targets Beijing, Guangzhou, Shenzhen.
+      return {"TJ", "BJ", "GZ", "SZ"};
+    case DatasetId::kBoiler:
+      // Source Boiler 1; targets Boilers 2 and 3.
+      return {"Boiler1", "Boiler2", "Boiler3"};
+    default:
+      return {};
+  }
+}
+
+std::vector<linalg::Matrix> SineBenchmark(int64_t count, int64_t l, int64_t n,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<linalg::Matrix> samples;
+  samples.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    linalg::Matrix sample(l, n);
+    for (int64_t j = 0; j < n; ++j) {
+      const double eta = rng.Uniform();
+      const double theta = rng.Uniform(-kPi, kPi);
+      for (int64_t t = 0; t < l; ++t) {
+        // Map sin(.) in [-1,1] to [0,1] as the preprocessed datasets are.
+        sample(t, j) =
+            0.5 * (std::sin(2.0 * kPi * eta * static_cast<double>(t + 1) + theta) +
+                   1.0);
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace tsg::data

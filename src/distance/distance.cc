@@ -1,0 +1,149 @@
+#include "distance/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "base/check.h"
+#include "linalg/decomp.h"
+
+namespace tsg::distance {
+
+double EuclideanDistance(const Matrix& a, const Matrix& b) {
+  TSG_CHECK(a.SameShape(b));
+  double s = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double DtwDistance(const Matrix& a, const Matrix& b, int64_t band) {
+  TSG_CHECK_EQ(a.cols(), b.cols());
+  const int64_t la = a.rows(), lb = b.rows(), dims = a.cols();
+  TSG_CHECK(la > 0 && lb > 0);
+  if (band < 0) band = std::max(la, lb);
+  band = std::max(band, std::abs(la - lb));  // Band must admit the diagonal.
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  // Rolling two-row DP over the (la+1) x (lb+1) cost table.
+  std::vector<double> prev(static_cast<size_t>(lb + 1), kInf);
+  std::vector<double> cur(static_cast<size_t>(lb + 1), kInf);
+  prev[0] = 0.0;
+
+  for (int64_t i = 1; i <= la; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const int64_t j_lo = std::max<int64_t>(1, i - band);
+    const int64_t j_hi = std::min<int64_t>(lb, i + band);
+    const double* a_row = a.data() + (i - 1) * dims;
+    for (int64_t j = j_lo; j <= j_hi; ++j) {
+      const double* b_row = b.data() + (j - 1) * dims;
+      double cost = 0.0;
+      for (int64_t d = 0; d < dims; ++d) {
+        const double diff = a_row[d] - b_row[d];
+        cost += diff * diff;
+      }
+      const double best = std::min({prev[static_cast<size_t>(j)],
+                                    prev[static_cast<size_t>(j - 1)],
+                                    cur[static_cast<size_t>(j - 1)]});
+      cur[static_cast<size_t>(j)] = cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  return std::sqrt(prev[static_cast<size_t>(lb)]);
+}
+
+double DtwIndependent(const Matrix& a, const Matrix& b, int64_t band) {
+  TSG_CHECK_EQ(a.cols(), b.cols());
+  double total_sq = 0.0;
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    const double d = DtwDistance(a.Col(j), b.Col(j), band);
+    total_sq += d * d;
+  }
+  return std::sqrt(total_sq);
+}
+
+StatusOr<double> FrechetDistance(const Matrix& embeddings_a, const Matrix& embeddings_b,
+                                 double ridge) {
+  if (embeddings_a.cols() != embeddings_b.cols()) {
+    return Status::InvalidArgument("embedding dimensions differ");
+  }
+  if (embeddings_a.rows() < 2 || embeddings_b.rows() < 2) {
+    return Status::InvalidArgument("need at least 2 embeddings per set");
+  }
+  const Matrix mu_a = linalg::ColMean(embeddings_a);
+  const Matrix mu_b = linalg::ColMean(embeddings_b);
+  Matrix cov_a = linalg::RowCovariance(embeddings_a);
+  Matrix cov_b = linalg::RowCovariance(embeddings_b);
+  const int64_t d = cov_a.rows();
+  for (int64_t i = 0; i < d; ++i) {
+    cov_a(i, i) += ridge;
+    cov_b(i, i) += ridge;
+  }
+
+  double mean_term = 0.0;
+  for (int64_t j = 0; j < mu_a.cols(); ++j) {
+    const double diff = mu_a(0, j) - mu_b(0, j);
+    mean_term += diff * diff;
+  }
+
+  // Tr((C1 C2)^{1/2}) computed symmetrically as Tr((S C2 S)^{1/2}) with S = C1^{1/2},
+  // which keeps the argument symmetric PSD so the Jacobi-based sqrt applies.
+  StatusOr<Matrix> sqrt_a = linalg::SqrtSymmetric(cov_a);
+  if (!sqrt_a.ok()) return sqrt_a.status();
+  const Matrix inner =
+      linalg::MatMul(linalg::MatMul(sqrt_a.value(), cov_b), sqrt_a.value());
+  StatusOr<linalg::EigenResult> eig = linalg::SymmetricEigen(inner);
+  if (!eig.ok()) return eig.status();
+  double trace_sqrt = 0.0;
+  for (double v : eig.value().values) trace_sqrt += std::sqrt(std::max(0.0, v));
+
+  const double fid =
+      mean_term + linalg::Trace(cov_a) + linalg::Trace(cov_b) - 2.0 * trace_sqrt;
+  return std::max(0.0, fid);
+}
+
+double RbfMmd(const Matrix& a, const Matrix& b, double gamma) {
+  TSG_CHECK_EQ(a.cols(), b.cols());
+  const int64_t n = a.rows(), m = b.rows(), d = a.cols();
+  TSG_CHECK(n >= 2 && m >= 2);
+
+  auto sq_dist = [d](const double* x, const double* y) {
+    double s = 0.0;
+    for (int64_t k = 0; k < d; ++k) {
+      const double diff = x[k] - y[k];
+      s += diff * diff;
+    }
+    return s;
+  };
+
+  if (gamma <= 0.0) {
+    // Median heuristic over cross distances.
+    std::vector<double> dists;
+    dists.reserve(static_cast<size_t>(n * m));
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < m; ++j) dists.push_back(sq_dist(a.data() + i * d,
+                                                              b.data() + j * d));
+    std::nth_element(dists.begin(), dists.begin() + dists.size() / 2, dists.end());
+    const double median = std::max(dists[dists.size() / 2], 1e-12);
+    gamma = 1.0 / median;
+  }
+
+  double kaa = 0.0, kbb = 0.0, kab = 0.0;
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      if (i != j) kaa += std::exp(-gamma * sq_dist(a.data() + i * d, a.data() + j * d));
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < m; ++j)
+      if (i != j) kbb += std::exp(-gamma * sq_dist(b.data() + i * d, b.data() + j * d));
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < m; ++j)
+      kab += std::exp(-gamma * sq_dist(a.data() + i * d, b.data() + j * d));
+
+  const double dn = static_cast<double>(n), dm = static_cast<double>(m);
+  return kaa / (dn * (dn - 1.0)) + kbb / (dm * (dm - 1.0)) - 2.0 * kab / (dn * dm);
+}
+
+}  // namespace tsg::distance

@@ -1,0 +1,139 @@
+#include "embed/embedder.h"
+
+#include <algorithm>
+
+#include "ag/ops.h"
+#include "nn/optimizer.h"
+
+namespace tsg::embed {
+
+using ag::Var;
+
+struct SequenceEmbedder::Impl {
+  Impl(int64_t num_features, const Options& opts, Rng& rng)
+      : encoder(num_features, opts.hidden_size, 1, rng),
+        to_embed(opts.hidden_size, opts.embed_dim, rng, nn::Activation::kTanh),
+        from_embed(opts.embed_dim, opts.hidden_size, rng, nn::Activation::kTanh),
+        decoder(opts.hidden_size, opts.hidden_size, 1, rng),
+        head(opts.hidden_size, num_features, rng) {}
+
+  /// Encodes a batch of equal-length samples into (batch x embed_dim).
+  Var Encode(const std::vector<Var>& steps) const {
+    std::vector<Var> finals;
+    encoder.Forward(steps, &finals);
+    return to_embed.Forward(finals.back());
+  }
+
+  /// Decodes embeddings back to a sequence of `len` steps by feeding the expanded
+  /// embedding as the input at every step.
+  std::vector<Var> Decode(const Var& embedding, int64_t len) const {
+    const Var ctx = from_embed.Forward(embedding);
+    // Positional rows give the decoder step identity; without them a constant-input
+    // GRU converges to a fixed point and reconstructions collapse to the mean.
+    const linalg::Matrix pos = nn::SinusoidalPositions(len, ctx.cols());
+    std::vector<Var> inputs;
+    inputs.reserve(static_cast<size_t>(len));
+    for (int64_t t = 0; t < len; ++t) {
+      inputs.push_back(ag::AddRowVec(ctx, Var::Constant(pos.Row(t))));
+    }
+    std::vector<Var> hidden = decoder.Forward(inputs);
+    std::vector<Var> outputs;
+    outputs.reserve(hidden.size());
+    for (const Var& h : hidden) outputs.push_back(head.Forward(h));
+    return outputs;
+  }
+
+  std::vector<Var> Parameters() const {
+    return nn::CollectParameters({&encoder, &to_embed, &from_embed, &decoder, &head});
+  }
+
+  nn::GruStack encoder;
+  nn::Dense to_embed;
+  nn::Dense from_embed;
+  nn::GruStack decoder;
+  nn::Dense head;
+};
+
+namespace {
+
+/// Stacks the t-th row of every selected sample into a (batch x N) constant.
+Var StepBatch(const std::vector<Matrix>& samples, const std::vector<int64_t>& idx,
+              int64_t t) {
+  const int64_t batch = static_cast<int64_t>(idx.size());
+  const int64_t n = samples[0].cols();
+  Matrix out(batch, n);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t j = 0; j < n; ++j) out(b, j) = samples[idx[b]](t, j);
+  }
+  return Var::Constant(std::move(out));
+}
+
+}  // namespace
+
+SequenceEmbedder::SequenceEmbedder(int64_t num_features, const Options& options,
+                                   uint64_t seed)
+    : options_(options), num_features_(num_features), rng_(seed) {
+  impl_ = std::make_unique<Impl>(num_features, options_, rng_);
+}
+
+SequenceEmbedder::~SequenceEmbedder() = default;
+
+double SequenceEmbedder::Fit(const std::vector<Matrix>& samples) {
+  TSG_CHECK(!samples.empty());
+  TSG_CHECK_EQ(samples[0].cols(), num_features_);
+  const int64_t l = samples[0].rows();
+  const int64_t n_samples = static_cast<int64_t>(samples.size());
+
+  nn::Adam opt(impl_->Parameters(), options_.learning_rate);
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const std::vector<int64_t> perm = rng_.Permutation(n_samples);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < n_samples; start += options_.batch_size) {
+      const int64_t end = std::min(start + options_.batch_size, n_samples);
+      const std::vector<int64_t> idx(perm.begin() + start, perm.begin() + end);
+
+      std::vector<Var> steps;
+      steps.reserve(static_cast<size_t>(l));
+      for (int64_t t = 0; t < l; ++t) steps.push_back(StepBatch(samples, idx, t));
+
+      opt.ZeroGrad();
+      const Var embedding = impl_->Encode(steps);
+      const std::vector<Var> recon = impl_->Decode(embedding, l);
+      Var loss = ag::MseLoss(recon[0], steps[0]);
+      for (int64_t t = 1; t < l; ++t) {
+        loss = loss + ag::MseLoss(recon[static_cast<size_t>(t)],
+                                  steps[static_cast<size_t>(t)]);
+      }
+      loss = ag::ScalarMul(loss, 1.0 / static_cast<double>(l));
+      ag::Backward(loss);
+      opt.ClipGradNorm(options_.grad_clip);
+      opt.Step();
+      epoch_loss += loss.value()(0, 0);
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(std::max<int64_t>(batches, 1));
+  }
+  return last_epoch_loss;
+}
+
+Matrix SequenceEmbedder::Embed(const std::vector<Matrix>& samples) const {
+  TSG_CHECK(!samples.empty());
+  const int64_t n_samples = static_cast<int64_t>(samples.size());
+  Matrix out(n_samples, options_.embed_dim);
+  constexpr int64_t kBatch = 256;
+  for (int64_t start = 0; start < n_samples; start += kBatch) {
+    const int64_t end = std::min(start + kBatch, n_samples);
+    std::vector<int64_t> idx(static_cast<size_t>(end - start));
+    for (int64_t i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
+    const int64_t l = samples[static_cast<size_t>(start)].rows();
+    std::vector<Var> steps;
+    for (int64_t t = 0; t < l; ++t) steps.push_back(StepBatch(samples, idx, t));
+    const Var embedding = impl_->Encode(steps);
+    out.SetBlock(start, 0, embedding.value());
+  }
+  return out;
+}
+
+}  // namespace tsg::embed

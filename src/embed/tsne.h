@@ -1,0 +1,42 @@
+#ifndef TSG_EMBED_TSNE_H_
+#define TSG_EMBED_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "linalg/matrix.h"
+
+namespace tsg::embed {
+
+/// Exact (O(n^2)) t-SNE (van der Maaten & Hinton 2008), the M9 visualization used in
+/// Figure 6: real and generated samples are flattened, embedded jointly into 2-D, and
+/// the resulting point clouds compared. Includes the standard tricks: per-point
+/// perplexity calibration by bisection, early exaggeration, and momentum.
+struct TsneOptions {
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 120;
+  /// Pre-reduce inputs to this many PCA dimensions; <= 0 disables (common practice
+  /// for high-dimensional flattened series).
+  int pca_dims = 30;
+  uint64_t seed = 42;
+};
+
+/// Embeds the rows of `data` (n x d) into (n x 2).
+linalg::Matrix Tsne(const linalg::Matrix& data, const TsneOptions& options);
+
+/// Scalar summary for the t-SNE view: fraction of each point's k nearest 2-D
+/// neighbours that carry the *other* label, averaged (0.5 = perfectly mixed clouds =
+/// ideal generator; 0 = fully separated = detectable generator). `labels` holds 0/1.
+double NeighborhoodOverlap(const linalg::Matrix& points2d,
+                           const std::vector<int>& labels, int k = 10);
+
+}  // namespace tsg::embed
+
+#endif  // TSG_EMBED_TSNE_H_

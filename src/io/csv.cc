@@ -1,0 +1,86 @@
+#include "io/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tsg::io {
+
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const linalg::Matrix& data) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.precision(17);  // max_digits10: doubles round-trip exactly.
+  if (!header.empty()) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      out << header[i] << (i + 1 < header.size() ? "," : "\n");
+    }
+  }
+  for (int64_t i = 0; i < data.rows(); ++i) {
+    for (int64_t j = 0; j < data.cols(); ++j) {
+      out << data(i, j) << (j + 1 < data.cols() ? "," : "\n");
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status WriteCsvRows(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i] << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<linalg::Matrix> ReadCsv(const std::string& path, bool skip_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || errno != 0) {
+        return Status::InvalidArgument("non-numeric cell '" + cell + "' in " + path);
+      }
+      row.push_back(v);
+    }
+    if (!rows.empty() && row.size() != rows[0].size()) {
+      return Status::InvalidArgument("ragged CSV: " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return linalg::Matrix();
+  linalg::Matrix m(static_cast<int64_t>(rows.size()),
+                   static_cast<int64_t>(rows[0].size()));
+  for (int64_t i = 0; i < m.rows(); ++i)
+    for (int64_t j = 0; j < m.cols(); ++j) m(i, j) = rows[i][j];
+  return m;
+}
+
+}  // namespace tsg::io

@@ -1,0 +1,27 @@
+#ifndef TSG_IO_CSV_H_
+#define TSG_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "linalg/matrix.h"
+
+namespace tsg::io {
+
+/// Writes a numeric matrix as CSV with an optional header row. Benches use this to
+/// emit reproducible figure data (t-SNE coordinates, KDE curves, score grids).
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const linalg::Matrix& data);
+
+/// Writes ready-made string rows (for mixed text/number tables).
+Status WriteCsvRows(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a numeric CSV; `skip_header` drops the first line. Cells that fail to parse
+/// make the whole read fail, so silently corrupted data can't slip through.
+StatusOr<linalg::Matrix> ReadCsv(const std::string& path, bool skip_header);
+
+}  // namespace tsg::io
+
+#endif  // TSG_IO_CSV_H_

@@ -1,0 +1,55 @@
+#include "io/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace tsg::io {
+
+void Table::AddRow(std::vector<std::string> cells) {
+  TSG_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::MeanStd(double mean, double std, int precision) {
+  return Num(mean, precision) + "+-" + Num(std, precision);
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t j = 0; j < header_.size(); ++j) widths[j] = header_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) widths[j] = std::max(widths[j],
+                                                                 row[j].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      os << row[j];
+      if (j + 1 < row.size()) {
+        for (size_t pad = row[j].size(); pad < widths[j] + 2; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  for (size_t i = 0; i + 2 < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace tsg::io

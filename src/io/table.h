@@ -1,0 +1,35 @@
+#ifndef TSG_IO_TABLE_H_
+#define TSG_IO_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace tsg::io {
+
+/// Column-aligned plain-text table used by every bench binary to print the paper's
+/// rows. Cells are strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Appends a row; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 4);
+  /// "mean±std" cell, the format Table 4 uses for DS/PS rows.
+  static std::string MeanStd(double mean, double std, int precision = 3);
+
+  /// Renders with padded columns and a separator under the header.
+  std::string ToString() const;
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsg::io
+
+#endif  // TSG_IO_TABLE_H_

@@ -1,0 +1,221 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tsg::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int64_t>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int64_t>(rows.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_ * cols_));
+  for (const auto& row : rows) {
+    TSG_CHECK_EQ(static_cast<int64_t>(row.size()), cols_) << "ragged initializer";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromVector(int64_t rows, int64_t cols, const std::vector<double>& v) {
+  TSG_CHECK_EQ(rows * cols, static_cast<int64_t>(v.size()));
+  Matrix m(rows, cols);
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  TSG_CHECK(SameShape(other)) << rows_ << "x" << cols_ << " += " << other.rows_ << "x"
+                              << other.cols_;
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  TSG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i)
+    for (int64_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix Matrix::Row(int64_t i) const { return Block(i, 0, 1, cols_); }
+
+Matrix Matrix::Col(int64_t j) const { return Block(0, j, rows_, 1); }
+
+Matrix Matrix::Block(int64_t row0, int64_t col0, int64_t nrows, int64_t ncols) const {
+  TSG_CHECK(row0 >= 0 && col0 >= 0 && row0 + nrows <= rows_ && col0 + ncols <= cols_)
+      << "block (" << row0 << "," << col0 << "," << nrows << "," << ncols << ") of "
+      << rows_ << "x" << cols_;
+  Matrix out(nrows, ncols);
+  for (int64_t i = 0; i < nrows; ++i)
+    for (int64_t j = 0; j < ncols; ++j) out(i, j) = (*this)(row0 + i, col0 + j);
+  return out;
+}
+
+void Matrix::SetBlock(int64_t row0, int64_t col0, const Matrix& block) {
+  TSG_CHECK(row0 >= 0 && col0 >= 0 && row0 + block.rows() <= rows_ &&
+            col0 + block.cols() <= cols_);
+  for (int64_t i = 0; i < block.rows(); ++i)
+    for (int64_t j = 0; j < block.cols(); ++j) (*this)(row0 + i, col0 + j) = block(i, j);
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::string Matrix::DebugString(int64_t max_rows, int64_t max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (int64_t i = 0; i < std::min(rows_, max_rows); ++i) {
+    os << (i == 0 ? "[" : " [");
+    for (int64_t j = 0; j < std::min(cols_, max_cols); ++j) {
+      os << (*this)(i, j) << (j + 1 < std::min(cols_, max_cols) ? ", " : "");
+    }
+    os << (cols_ > max_cols ? ", ...]" : "]");
+    if (i + 1 < std::min(rows_, max_rows)) os << "\n";
+  }
+  if (rows_ > max_rows) os << "\n ...";
+  os << "]";
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  TSG_CHECK_EQ(a.cols(), b.rows()) << "matmul " << a.rows() << "x" << a.cols() << " * "
+                                   << b.rows() << "x" << b.cols();
+  Matrix out(a.rows(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of b and out.
+  for (int64_t i = 0; i < m; ++i) {
+    double* out_row = out.data() + i * n;
+    const double* a_row = a.data() + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const double aip = a_row[p];
+      if (aip == 0.0) continue;
+      const double* b_row = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  TSG_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (int64_t p = 0; p < k; ++p) {
+    const double* a_row = a.data() + p * m;
+    const double* b_row = b.data() + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const double aip = a_row[i];
+      if (aip == 0.0) continue;
+      double* out_row = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  TSG_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const double* a_row = a.data() + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const double* b_row = b.data() + j * k;
+      double s = 0.0;
+      for (int64_t p = 0; p < k; ++p) s += a_row[p] * b_row[p];
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, double s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) { return a * s; }
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  TSG_CHECK(a.SameShape(b));
+  Matrix out = a;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Matrix ColMean(const Matrix& a) {
+  Matrix out(1, a.cols());
+  if (a.rows() == 0) return out;
+  for (int64_t i = 0; i < a.rows(); ++i)
+    for (int64_t j = 0; j < a.cols(); ++j) out(0, j) += a(i, j);
+  out *= 1.0 / static_cast<double>(a.rows());
+  return out;
+}
+
+Matrix RowCovariance(const Matrix& a) {
+  const int64_t n = a.rows(), d = a.cols();
+  Matrix cov(d, d);
+  if (n < 2) return cov;
+  const Matrix mean = ColMean(a);
+  Matrix centered = a;
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < d; ++j) centered(i, j) -= mean(0, j);
+  cov = MatMulTransA(centered, centered);
+  cov *= 1.0 / static_cast<double>(n - 1);
+  return cov;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace tsg::linalg

@@ -1,0 +1,125 @@
+#ifndef TSG_LINALG_MATRIX_H_
+#define TSG_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace tsg::linalg {
+
+/// Dense row-major matrix of doubles. This is the single numeric container shared by
+/// the autodiff engine, the neural-network layers, and the evaluation measures. The
+/// benchmark's tensors are small (batch x hidden on the order of 128 x 128), so the
+/// implementation favours clarity and cache-friendly loops over vendor BLAS.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0) {
+    TSG_CHECK_GE(rows, 0);
+    TSG_CHECK_GE(cols, 0);
+  }
+  Matrix(int64_t rows, int64_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {}
+  /// Builds from nested braces: Matrix m = {{1, 2}, {3, 4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  static Matrix Zeros(int64_t rows, int64_t cols) { return Matrix(rows, cols); }
+  static Matrix Constant(int64_t rows, int64_t cols, double v) {
+    return Matrix(rows, cols, v);
+  }
+  static Matrix Identity(int64_t n);
+  /// Wraps a flat row-major buffer copy.
+  static Matrix FromVector(int64_t rows, int64_t cols, const std::vector<double>& v);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  double& operator()(int64_t i, int64_t j) {
+    TSG_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_)
+        << "index (" << i << "," << j << ") in " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double operator()(int64_t i, int64_t j) const {
+    TSG_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_)
+        << "index (" << i << "," << j << ") in " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  /// Flat element access (row-major order).
+  double& operator[](int64_t k) { return data_[static_cast<size_t>(k)]; }
+  double operator[](int64_t k) const { return data_[static_cast<size_t>(k)]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// In-place scaling / addition used by optimizers and accumulators.
+  Matrix& operator*=(double s);
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void SetZero() { Fill(0.0); }
+
+  Matrix Transpose() const;
+  /// Extracts row i as a 1 x cols matrix.
+  Matrix Row(int64_t i) const;
+  /// Extracts column j as a rows x 1 matrix.
+  Matrix Col(int64_t j) const;
+  /// Contiguous block copy.
+  Matrix Block(int64_t row0, int64_t col0, int64_t nrows, int64_t ncols) const;
+  /// Writes `block` into this matrix at (row0, col0).
+  void SetBlock(int64_t row0, int64_t col0, const Matrix& block);
+
+  double Sum() const;
+  double Mean() const { return size() == 0 ? 0.0 : Sum() / static_cast<double>(size()); }
+  double MaxAbs() const;
+  /// Frobenius norm.
+  double Norm() const;
+
+  std::string DebugString(int64_t max_rows = 6, int64_t max_cols = 8) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes must agree; result is (a.rows x b.cols).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// out = a^T * b without materializing the transpose.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// out = a * b^T without materializing the transpose.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& a, double s);
+Matrix operator*(double s, const Matrix& a);
+/// Element-wise (Hadamard) product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Mean of each column -> 1 x cols.
+Matrix ColMean(const Matrix& a);
+/// Sample covariance of rows (each row is an observation) -> cols x cols.
+Matrix RowCovariance(const Matrix& a);
+
+/// True when all elements differ by at most `tol`.
+bool AllClose(const Matrix& a, const Matrix& b, double tol = 1e-9);
+
+}  // namespace tsg::linalg
+
+#endif  // TSG_LINALG_MATRIX_H_

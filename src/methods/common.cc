@@ -1,0 +1,67 @@
+#include "methods/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsg::methods {
+
+Var StepBatch(const Dataset& ds, const std::vector<int64_t>& idx, int64_t t) {
+  const int64_t batch = static_cast<int64_t>(idx.size());
+  const int64_t n = ds.num_features();
+  Matrix out(batch, n);
+  for (int64_t b = 0; b < batch; ++b) {
+    const Matrix& s = ds.sample(idx[static_cast<size_t>(b)]);
+    for (int64_t j = 0; j < n; ++j) out(b, j) = s(t, j);
+  }
+  return Var::Constant(std::move(out));
+}
+
+std::vector<Var> SequenceBatch(const Dataset& ds, const std::vector<int64_t>& idx) {
+  std::vector<Var> steps;
+  steps.reserve(static_cast<size_t>(ds.seq_len()));
+  for (int64_t t = 0; t < ds.seq_len(); ++t) steps.push_back(StepBatch(ds, idx, t));
+  return steps;
+}
+
+std::vector<Matrix> StepsToSamples(const std::vector<Var>& steps) {
+  TSG_CHECK(!steps.empty());
+  const int64_t l = static_cast<int64_t>(steps.size());
+  const int64_t batch = steps[0].rows();
+  const int64_t n = steps[0].cols();
+  std::vector<Matrix> samples(static_cast<size_t>(batch), Matrix(l, n));
+  for (int64_t t = 0; t < l; ++t) {
+    const Matrix& step = steps[static_cast<size_t>(t)].value();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t j = 0; j < n; ++j) samples[static_cast<size_t>(b)](t, j) =
+          step(b, j);
+    }
+  }
+  for (Matrix& s : samples) core::ClampToUnit(s);
+  return samples;
+}
+
+std::vector<Var> NoiseSequence(int64_t steps, int64_t batch, int64_t dim, Rng& rng) {
+  std::vector<Var> out;
+  out.reserve(static_cast<size_t>(steps));
+  for (int64_t t = 0; t < steps; ++t) out.push_back(ag::Randn(batch, dim, rng));
+  return out;
+}
+
+int ResolveEpochs(int base_epochs, const FitOptions& options) {
+  return std::max(1, static_cast<int>(std::lround(static_cast<double>(base_epochs) *
+                                                  options.epoch_scale)));
+}
+
+MiniBatcher::MiniBatcher(int64_t count, int64_t batch_size, Rng& rng)
+    : perm_(rng.Permutation(count)), batch_size_(batch_size) {}
+
+bool MiniBatcher::Next(std::vector<int64_t>* idx) {
+  if (pos_ >= static_cast<int64_t>(perm_.size())) return false;
+  const int64_t end = std::min<int64_t>(pos_ + batch_size_,
+                                        static_cast<int64_t>(perm_.size()));
+  idx->assign(perm_.begin() + pos_, perm_.begin() + end);
+  pos_ = end;
+  return true;
+}
+
+}  // namespace tsg::methods

@@ -1,0 +1,50 @@
+#ifndef TSG_METHODS_COMMON_H_
+#define TSG_METHODS_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ag/ops.h"
+#include "core/dataset.h"
+#include "core/method.h"
+
+namespace tsg::methods {
+
+using ag::Var;
+using core::Dataset;
+using core::FitOptions;
+using linalg::Matrix;
+
+/// Stacks time step `t` of the samples selected by `idx` into a (batch x N) constant.
+Var StepBatch(const Dataset& ds, const std::vector<int64_t>& idx, int64_t t);
+
+/// All `l` step batches for the selected samples.
+std::vector<Var> SequenceBatch(const Dataset& ds, const std::vector<int64_t>& idx);
+
+/// Converts per-step network outputs (each (batch x N)) back into `batch` samples of
+/// shape (l x N), clamped into the [0, 1] data range.
+std::vector<Matrix> StepsToSamples(const std::vector<Var>& steps);
+
+/// A sequence of i.i.d. Gaussian noise inputs, one (batch x dim) Var per step.
+std::vector<Var> NoiseSequence(int64_t steps, int64_t batch, int64_t dim, Rng& rng);
+
+/// Effective epoch count: base scaled by FitOptions::epoch_scale, at least 1.
+int ResolveEpochs(int base_epochs, const FitOptions& options);
+
+/// Yields shuffled minibatch index lists over [0, count).
+class MiniBatcher {
+ public:
+  MiniBatcher(int64_t count, int64_t batch_size, Rng& rng);
+
+  /// Fills `idx` with the next batch; returns false when the epoch is exhausted.
+  bool Next(std::vector<int64_t>* idx);
+
+ private:
+  std::vector<int64_t> perm_;
+  int64_t batch_size_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace tsg::methods
+
+#endif  // TSG_METHODS_COMMON_H_

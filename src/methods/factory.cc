@@ -1,0 +1,40 @@
+#include "methods/factory.h"
+
+#include "methods/aec_gan.h"
+#include "methods/cosci_gan.h"
+#include "methods/fourier_flow.h"
+#include "methods/gt_gan.h"
+#include "methods/ls4.h"
+#include "methods/rgan.h"
+#include "methods/rtsgan.h"
+#include "methods/timegan.h"
+#include "methods/timevae.h"
+#include "methods/timevqvae.h"
+
+namespace tsg::methods {
+
+const std::vector<std::string>& AllMethodNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "RGAN",      "TimeGAN",   "RTSGAN",      "COSCI-GAN",   "AEC-GAN",
+      "TimeVAE",   "TimeVQVAE", "FourierFlow", "GT-GAN",      "LS4",
+  };
+  return *kNames;
+}
+
+StatusOr<std::unique_ptr<core::TsgMethod>> CreateMethod(const std::string& name) {
+  if (name == "RGAN") return std::unique_ptr<core::TsgMethod>(new Rgan());
+  if (name == "TimeGAN") return std::unique_ptr<core::TsgMethod>(new TimeGan());
+  if (name == "RTSGAN") return std::unique_ptr<core::TsgMethod>(new RtsGan());
+  if (name == "COSCI-GAN") return std::unique_ptr<core::TsgMethod>(new CosciGan());
+  if (name == "AEC-GAN") return std::unique_ptr<core::TsgMethod>(new AecGan());
+  if (name == "TimeVAE") return std::unique_ptr<core::TsgMethod>(new TimeVae());
+  if (name == "TimeVQVAE") return std::unique_ptr<core::TsgMethod>(new TimeVqVae());
+  if (name == "FourierFlow") {
+    return std::unique_ptr<core::TsgMethod>(new FourierFlow());
+  }
+  if (name == "GT-GAN") return std::unique_ptr<core::TsgMethod>(new GtGan());
+  if (name == "LS4") return std::unique_ptr<core::TsgMethod>(new Ls4());
+  return Status::NotFound("unknown TSG method: " + name);
+}
+
+}  // namespace tsg::methods

@@ -1,0 +1,22 @@
+#ifndef TSG_METHODS_FACTORY_H_
+#define TSG_METHODS_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/method.h"
+
+namespace tsg::methods {
+
+/// Display names of the ten evaluated methods (A1-A10), in the paper's order.
+const std::vector<std::string>& AllMethodNames();
+
+/// Instantiates a method by its display name ("RGAN", "TimeGAN", ...). Returns
+/// NotFound for unknown names.
+StatusOr<std::unique_ptr<core::TsgMethod>> CreateMethod(const std::string& name);
+
+}  // namespace tsg::methods
+
+#endif  // TSG_METHODS_FACTORY_H_

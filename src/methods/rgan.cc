@@ -1,0 +1,135 @@
+#include "methods/rgan.h"
+
+#include <algorithm>
+
+#include "ag/ops.h"
+#include "methods/common.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace tsg::methods {
+
+using ag::Abs;
+using ag::Add;
+using ag::AddRowVec;
+using ag::Backward;
+using ag::BceWithLogits;
+using ag::ColMeanVar;
+using ag::ColSum;
+using ag::ConcatCols;
+using ag::ConcatRows;
+using ag::Detach;
+using ag::Div;
+using ag::Exp;
+using ag::L1Loss;
+using ag::Log;
+using ag::MatMul;
+using ag::Mean;
+using ag::MseLoss;
+using ag::Mul;
+using ag::MulRowVec;
+using ag::Neg;
+using ag::Randn;
+using ag::ScalarAdd;
+using ag::ScalarMul;
+using ag::Sigmoid;
+using ag::SliceCols;
+using ag::SliceRows;
+using ag::Softplus;
+using ag::Sqrt;
+using ag::Square;
+using ag::Sum;
+using ag::Tanh;
+
+struct Rgan::Nets {
+  Nets(int64_t noise_dim, int64_t n, int64_t hidden, Rng& rng)
+      : gen_rnn(noise_dim, hidden, 1, rng),
+        gen_out(hidden, n, rng, nn::Activation::kSigmoid),
+        disc_rnn(n, hidden, 1, rng),
+        disc_out(hidden, 1, rng) {}
+
+  /// Noise sequence -> per-step outputs in [0, 1].
+  std::vector<Var> Generate(const std::vector<Var>& noise) const {
+    std::vector<Var> hidden = gen_rnn.Forward(noise);
+    std::vector<Var> out;
+    out.reserve(hidden.size());
+    for (const Var& h : hidden) out.push_back(gen_out.Forward(h));
+    return out;
+  }
+
+  /// Per-step discriminator logits averaged into one (batch x 1) score.
+  Var Discriminate(const std::vector<Var>& series) const {
+    const std::vector<Var> hidden = disc_rnn.Forward(series);
+    Var logits = disc_out.Forward(hidden[0]);
+    for (size_t t = 1; t < hidden.size(); ++t) {
+      logits = logits + disc_out.Forward(hidden[t]);
+    }
+    return ScalarMul(logits, 1.0 / static_cast<double>(hidden.size()));
+  }
+
+  nn::GruStack gen_rnn;
+  nn::Dense gen_out;
+  nn::GruStack disc_rnn;
+  nn::Dense disc_out;
+};
+
+Rgan::Rgan() = default;
+
+Rgan::~Rgan() = default;
+
+Status Rgan::Fit(const core::Dataset& train, const core::FitOptions& options) {
+  if (train.empty()) return Status::InvalidArgument("RGAN: empty training set");
+  seq_len_ = train.seq_len();
+  num_features_ = train.num_features();
+  noise_dim_ = std::clamp<int64_t>(num_features_, 4, 16);
+  const int64_t hidden = std::clamp<int64_t>(4 * num_features_, 8, 48);
+
+  Rng rng(options.seed ^ 0x46A1);
+  nets_ = std::make_unique<Nets>(noise_dim_, num_features_, hidden, rng);
+  nn::Adam g_opt(nn::CollectParameters({&nets_->gen_rnn, &nets_->gen_out}), 1e-3);
+  nn::Adam d_opt(nn::CollectParameters({&nets_->disc_rnn, &nets_->disc_out}), 1e-3);
+
+  const int epochs = ResolveEpochs(60, options);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
+    std::vector<int64_t> idx;
+    while (batcher.Next(&idx)) {
+      const int64_t batch = static_cast<int64_t>(idx.size());
+      const std::vector<Var> real = SequenceBatch(train, idx);
+      const std::vector<Var> noise = NoiseSequence(seq_len_, batch, noise_dim_, rng);
+      const std::vector<Var> fake = nets_->Generate(noise);
+
+      // Discriminator step on real vs detached fake.
+      std::vector<Var> fake_detached;
+      fake_detached.reserve(fake.size());
+      for (const Var& f : fake) fake_detached.push_back(Detach(f));
+      d_opt.ZeroGrad();
+      const Var d_loss =
+          BceWithLogits(nets_->Discriminate(real),
+                        Var::Constant(Matrix::Constant(batch, 1, 1.0))) +
+          BceWithLogits(nets_->Discriminate(fake_detached),
+                        Var::Constant(Matrix::Constant(batch, 1, 0.0)));
+      Backward(d_loss);
+      d_opt.ClipGradNorm(5.0);
+      d_opt.Step();
+
+      // Generator step: fool the discriminator.
+      g_opt.ZeroGrad();
+      const Var g_loss = BceWithLogits(
+          nets_->Discriminate(fake), Var::Constant(Matrix::Constant(batch, 1, 1.0)));
+      Backward(g_loss);
+      g_opt.ClipGradNorm(5.0);
+      g_opt.Step();
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<Matrix> Rgan::Generate(int64_t count, Rng& rng) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  const std::vector<Var> noise = NoiseSequence(seq_len_, count, noise_dim_, rng);
+  return StepsToSamples(nets_->Generate(noise));
+}
+
+}  // namespace tsg::methods

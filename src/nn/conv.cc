@@ -1,0 +1,55 @@
+#include "nn/conv.h"
+
+#include <cmath>
+
+namespace tsg::nn {
+
+Conv1D::Conv1D(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      bias_(ZeroBias(out_channels)) {
+  TSG_CHECK_GE(kernel_size, 1);
+  TSG_CHECK_EQ(kernel_size % 2, 1) << "Conv1D uses odd kernels for 'same' padding";
+  taps_.reserve(static_cast<size_t>(kernel_size));
+  // Glorot limit with fan-in counting every tap, so activations stay scaled like a
+  // dense layer over the whole receptive field.
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(in_channels * kernel_size + out_channels));
+  for (int64_t k = 0; k < kernel_size; ++k) {
+    linalg::Matrix w(in_channels, out_channels);
+    for (int64_t i = 0; i < w.size(); ++i) w[i] = rng.Uniform(-limit, limit);
+    taps_.push_back(Var::Parameter(std::move(w)));
+  }
+}
+
+std::vector<Var> Conv1D::Forward(const std::vector<Var>& steps) const {
+  TSG_CHECK(!steps.empty());
+  TSG_CHECK_EQ(steps[0].cols(), in_channels_);
+  const int64_t len = static_cast<int64_t>(steps.size());
+  const int64_t pad = kernel_size() / 2;
+
+  std::vector<Var> out;
+  out.reserve(static_cast<size_t>(len));
+  for (int64_t t = 0; t < len; ++t) {
+    Var acc;
+    for (int64_t k = 0; k < kernel_size(); ++k) {
+      const int64_t src = t + k - pad;
+      if (src < 0 || src >= len) continue;  // Zero padding contributes nothing.
+      const Var term = ag::MatMul(steps[static_cast<size_t>(src)],
+                                  taps_[static_cast<size_t>(k)]);
+      acc = acc.defined() ? ag::Add(acc, term) : term;
+    }
+    TSG_CHECK(acc.defined());
+    out.push_back(ag::AddRowVec(acc, bias_));
+  }
+  return out;
+}
+
+std::vector<Var> Conv1D::Parameters() const {
+  std::vector<Var> params = taps_;
+  params.push_back(bias_);
+  return params;
+}
+
+}  // namespace tsg::nn

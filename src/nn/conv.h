@@ -1,0 +1,39 @@
+#ifndef TSG_NN_CONV_H_
+#define TSG_NN_CONV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace tsg::nn {
+
+/// 1-D convolution over a sequence of per-step feature vectors with 'same'
+/// zero-padding: out_t = act(bias + sum_k x_{t+k-pad} W_k), where each tap W_k is an
+/// (in x out) matrix. TimeVAE's and TimeVQVAE's reference implementations are
+/// convolutional; this layer provides that inductive bias (local temporal receptive
+/// fields, weight sharing across time) on top of the same autodiff substrate.
+class Conv1D : public Module {
+ public:
+  Conv1D(int64_t in_channels, int64_t out_channels, int64_t kernel_size, Rng& rng);
+
+  /// Maps a sequence of (batch x in) steps to a same-length sequence of
+  /// (batch x out) steps.
+  std::vector<Var> Forward(const std::vector<Var>& steps) const;
+
+  std::vector<Var> Parameters() const override;
+
+  int64_t kernel_size() const { return static_cast<int64_t>(taps_.size()); }
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  std::vector<Var> taps_;  ///< One (in x out) weight matrix per kernel position.
+  Var bias_;
+};
+
+}  // namespace tsg::nn
+
+#endif  // TSG_NN_CONV_H_

@@ -1,0 +1,48 @@
+#include "nn/dense.h"
+
+namespace tsg::nn {
+
+Var Activate(const Var& x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kLeakyRelu:
+      return ag::LeakyRelu(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+    case Activation::kSoftplus:
+      return ag::Softplus(x);
+  }
+  TSG_CHECK(false) << "unknown activation";
+  return x;
+}
+
+Mlp::Mlp(const std::vector<int64_t>& sizes, Rng& rng, Activation hidden_activation,
+         Activation output_activation) {
+  TSG_CHECK_GE(sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    const bool last = i + 2 == sizes.size();
+    layers_.push_back(std::make_unique<Dense>(
+        sizes[i], sizes[i + 1], rng, last ? output_activation : hidden_activation));
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+std::vector<Var> Mlp::Parameters() const {
+  std::vector<Var> params;
+  for (const auto& layer : layers_) {
+    for (const Var& p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace tsg::nn

@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsg::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double sq = 0.0;
+  for (const Var& p : params_) {
+    const auto& g = p.grad();
+    for (int64_t i = 0; i < g.size(); ++i) sq += g[i] * g[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Var& p : params_) p.node()->grad *= scale;
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Var> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const Var& p : params_) {
+    velocity_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    auto& value = params_[k].mutable_value();
+    const auto& grad = params_[k].grad();
+    if (grad.size() != value.size()) continue;  // Never touched by Backward.
+    auto& vel = velocity_[k];
+    for (int64_t i = 0; i < value.size(); ++i) {
+      vel[i] = momentum_ * vel[i] - lr_ * grad[i];
+      value[i] += vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2, double eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    auto& value = params_[k].mutable_value();
+    const auto& grad = params_[k].grad();
+    if (grad.size() != value.size()) continue;
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (int64_t i = 0; i < value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * grad[i];
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * grad[i] * grad[i];
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+void ClipParameterValues(const std::vector<Var>& params, double limit) {
+  for (const Var& p : params) {
+    auto& value = const_cast<Var&>(p).mutable_value();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      value[i] = std::clamp(value[i], -limit, limit);
+    }
+  }
+}
+
+}  // namespace tsg::nn

@@ -1,0 +1,115 @@
+#ifndef TSG_NN_RNN_H_
+#define TSG_NN_RNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace tsg::nn {
+
+/// Gated Recurrent Unit cell (Cho et al., PyTorch gate formulation):
+///   r = sigmoid(x Wxr + h Whr + br)
+///   z = sigmoid(x Wxz + h Whz + bz)
+///   n = tanh(x Wxn + bxn + r .* (h Whn + bhn))
+///   h' = (1 - z) .* n + z .* h
+/// Inputs are (batch x in), states (batch x hidden).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  Var Forward(const Var& x, const Var& h) const;
+
+  /// Zero initial state for a batch.
+  Var InitialState(int64_t batch) const {
+    return Var::Constant(linalg::Matrix(batch, hidden_size_));
+  }
+
+  std::vector<Var> Parameters() const override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+  int64_t input_size() const { return input_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Var wxr_, whr_, br_;
+  Var wxz_, whz_, bz_;
+  Var wxn_, whn_, bxn_, bhn_;
+};
+
+/// Long Short-Term Memory cell with forget-gate bias initialized to 1 (the standard
+/// trick that stabilizes early training).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  struct State {
+    Var h;
+    Var c;
+  };
+
+  State Forward(const Var& x, const State& state) const;
+
+  State InitialState(int64_t batch) const {
+    return {Var::Constant(linalg::Matrix(batch, hidden_size_)),
+            Var::Constant(linalg::Matrix(batch, hidden_size_))};
+  }
+
+  std::vector<Var> Parameters() const override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Var wxi_, whi_, bi_;
+  Var wxf_, whf_, bf_;
+  Var wxg_, whg_, bg_;
+  Var wxo_, who_, bo_;
+};
+
+/// A stack of GRU layers unrolled over a sequence. This is the workhorse recurrent
+/// network for the TSG methods and the post-hoc DS/PS evaluation models.
+class GruStack : public Module {
+ public:
+  GruStack(int64_t input_size, int64_t hidden_size, int num_layers, Rng& rng);
+
+  /// Runs the stack over `inputs` (one (batch x input) Var per time step). Returns the
+  /// top-layer output at every step; if `final_states` is non-null it receives the last
+  /// hidden state of each layer.
+  std::vector<Var> Forward(const std::vector<Var>& inputs,
+                           std::vector<Var>* final_states = nullptr) const;
+
+  std::vector<Var> Parameters() const override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+  int num_layers() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  int64_t hidden_size_;
+  std::vector<std::unique_ptr<GruCell>> cells_;
+};
+
+/// A stack of LSTM layers unrolled over a sequence (used by the DS/PS post-hoc
+/// networks, which the paper configures as two LSTM layers).
+class LstmStack : public Module {
+ public:
+  LstmStack(int64_t input_size, int64_t hidden_size, int num_layers, Rng& rng);
+
+  std::vector<Var> Forward(const std::vector<Var>& inputs,
+                           std::vector<Var>* final_states = nullptr) const;
+
+  std::vector<Var> Parameters() const override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  std::vector<std::unique_ptr<LstmCell>> cells_;
+};
+
+}  // namespace tsg::nn
+
+#endif  // TSG_NN_RNN_H_

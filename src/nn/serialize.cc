@@ -1,0 +1,78 @@
+#include "nn/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tsg::nn {
+
+namespace {
+constexpr char kMagic[] = "TSGPARAMS v1";
+}  // namespace
+
+Status SaveParameters(const std::string& path, const std::vector<ag::Var>& params) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << kMagic << "\n" << params.size() << "\n";
+  for (const ag::Var& p : params) {
+    const auto& value = p.value();
+    out << value.rows() << " " << value.cols() << "\n";
+    for (int64_t i = 0; i < value.size(); ++i) {
+      // Hex float round-trips exactly.
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%a", value[i]);
+      out << buf << (i + 1 == value.size() ? "\n" : " ");
+    }
+    if (value.size() == 0) out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::string& path, std::vector<ag::Var>& params) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) return Status::InvalidArgument("bad magic in " + path);
+  size_t count = 0;
+  in >> count;
+  if (count != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch: file has " +
+                                   std::to_string(count) + ", model has " +
+                                   std::to_string(params.size()));
+  }
+  // Parse everything into staging buffers first so failures leave params untouched.
+  std::vector<linalg::Matrix> staged;
+  staged.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    int64_t rows = 0, cols = 0;
+    if (!(in >> rows >> cols)) return Status::InvalidArgument("truncated header");
+    const auto& expect = params[k].value();
+    if (rows != expect.rows() || cols != expect.cols()) {
+      return Status::InvalidArgument("shape mismatch at parameter " +
+                                     std::to_string(k));
+    }
+    linalg::Matrix m(rows, cols);
+    for (int64_t i = 0; i < m.size(); ++i) {
+      std::string token;
+      if (!(in >> token)) return Status::InvalidArgument("truncated values");
+      char* end = nullptr;
+      m[i] = std::strtod(token.c_str(), &end);
+      if (end == token.c_str()) {
+        return Status::InvalidArgument("bad value '" + token + "'");
+      }
+    }
+    staged.push_back(std::move(m));
+  }
+  for (size_t k = 0; k < count; ++k) {
+    params[k].mutable_value() = std::move(staged[k]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tsg::nn

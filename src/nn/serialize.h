@@ -1,0 +1,27 @@
+#ifndef TSG_NN_SERIALIZE_H_
+#define TSG_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "ag/variable.h"
+#include "base/status.h"
+
+namespace tsg::nn {
+
+/// Parameter persistence: fitting a TSG method on a large dataset can dominate a
+/// workflow (Figure 5's training-time row), so trained weights can be saved and
+/// restored. The format is a small text header (magic, parameter count, per-tensor
+/// shape) followed by the flat values; it round-trips bit-exactly via hex doubles.
+
+/// Writes `params` to `path`. Parameter order defines identity: load with the same
+/// module construction order as the save.
+Status SaveParameters(const std::string& path, const std::vector<ag::Var>& params);
+
+/// Restores values into `params` in order. Fails (without partial writes) when the
+/// file is missing, corrupt, or the shapes disagree with the given parameters.
+Status LoadParameters(const std::string& path, std::vector<ag::Var>& params);
+
+}  // namespace tsg::nn
+
+#endif  // TSG_NN_SERIALIZE_H_

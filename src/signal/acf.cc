@@ -1,0 +1,57 @@
+#include "signal/acf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace tsg::signal {
+
+std::vector<double> Autocorrelation(const std::vector<double>& x, int64_t max_lag) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  TSG_CHECK_GT(n, 0);
+  max_lag = std::min(max_lag, n - 1);
+
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+
+  double denom = 0.0;
+  for (double v : x) denom += (v - mean) * (v - mean);
+
+  std::vector<double> acf(static_cast<size_t>(max_lag + 1), 0.0);
+  if (denom <= 1e-300) {
+    acf[0] = 1.0;  // Constant series: define ACF as the identity spike.
+    return acf;
+  }
+  for (int64_t lag = 0; lag <= max_lag; ++lag) {
+    double s = 0.0;
+    for (int64_t t = 0; t + lag < n; ++t) {
+      s += (x[static_cast<size_t>(t)] - mean) * (x[static_cast<size_t>(t + lag)] - mean);
+    }
+    acf[static_cast<size_t>(lag)] = s / denom;
+  }
+  return acf;
+}
+
+int64_t SuggestWindowLength(const std::vector<double>& x, int64_t min_len,
+                            int64_t max_len) {
+  TSG_CHECK_GE(min_len, 2);
+  TSG_CHECK_GE(max_len, min_len);
+  const std::vector<double> acf = Autocorrelation(x, max_len);
+  // A prominent peak: local maximum with positive correlation above the white-noise
+  // band (approx 2/sqrt(n)).
+  const double threshold =
+      std::max(0.1, 2.0 / std::sqrt(static_cast<double>(x.size())));
+  for (int64_t lag = 2; lag + 1 < static_cast<int64_t>(acf.size()); ++lag) {
+    const double prev = acf[static_cast<size_t>(lag - 1)];
+    const double cur = acf[static_cast<size_t>(lag)];
+    const double next = acf[static_cast<size_t>(lag + 1)];
+    if (cur > prev && cur >= next && cur > threshold && lag >= min_len) {
+      return lag;
+    }
+  }
+  return min_len;
+}
+
+}  // namespace tsg::signal

@@ -1,0 +1,22 @@
+#ifndef TSG_SIGNAL_ACF_H_
+#define TSG_SIGNAL_ACF_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tsg::signal {
+
+/// Sample autocorrelation function for lags 0..max_lag (acf[0] == 1), computed with
+/// the standard biased estimator. Used by the ACD measure (M5) and by the
+/// preprocessing pipeline's window-length selection (§4.1).
+std::vector<double> Autocorrelation(const std::vector<double>& x, int64_t max_lag);
+
+/// Suggests a window length for the §4.1 sliding-window segmentation: the lag of the
+/// first prominent ACF peak (one full period), clamped to [min_len, max_len]. Falls
+/// back to min_len when no periodicity is detected.
+int64_t SuggestWindowLength(const std::vector<double>& x, int64_t min_len,
+                            int64_t max_len);
+
+}  // namespace tsg::signal
+
+#endif  // TSG_SIGNAL_ACF_H_

@@ -1,0 +1,151 @@
+#include "signal/fft.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace tsg::signal {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Iterative Cooley-Tukey radix-2 FFT; `sign` is -1 for forward, +1 for inverse
+/// (without scaling).
+void Radix2Fft(std::vector<Complex>& x, int sign) {
+  const size_t n = x.size();
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a convolution,
+/// evaluated with a padded power-of-two FFT.
+void BluesteinFft(std::vector<Complex>& x, int sign) {
+  const size_t n = x.size();
+  size_t m = 1;
+  while (m < 2 * n + 1) m <<= 1;
+
+  std::vector<Complex> a(m, Complex(0, 0)), b(m, Complex(0, 0));
+  std::vector<Complex> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    // Use k^2 mod 2n to avoid losing precision for large k.
+    const double angle =
+        sign * kPi * static_cast<double>((k * k) % (2 * n)) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+    a[k] = x[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+    if (k != 0) b[m - k] = std::conj(chirp[k]);
+  }
+  Radix2Fft(a, -1);
+  Radix2Fft(b, -1);
+  for (size_t i = 0; i < m; ++i) a[i] *= b[i];
+  Radix2Fft(a, +1);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k] * inv_m;
+}
+
+}  // namespace
+
+void Fft(std::vector<Complex>& x, bool inverse) {
+  const int sign = inverse ? +1 : -1;
+  if (IsPowerOfTwo(x.size())) {
+    Radix2Fft(x, sign);
+  } else if (!x.empty()) {
+    BluesteinFft(x, sign);
+  }
+  if (inverse && !x.empty()) {
+    const double inv_n = 1.0 / static_cast<double>(x.size());
+    for (auto& v : x) v *= inv_n;
+  }
+}
+
+std::vector<Complex> RealDft(const std::vector<double>& x) {
+  std::vector<Complex> buf(x.begin(), x.end());
+  Fft(buf, /*inverse=*/false);
+  buf.resize(x.size() / 2 + 1);
+  return buf;
+}
+
+std::vector<double> InverseRealDft(const std::vector<Complex>& spectrum, int64_t n) {
+  TSG_CHECK_EQ(static_cast<int64_t>(spectrum.size()), n / 2 + 1);
+  std::vector<Complex> full(static_cast<size_t>(n));
+  for (int64_t k = 0; k < static_cast<int64_t>(spectrum.size()); ++k) {
+    full[static_cast<size_t>(k)] = spectrum[static_cast<size_t>(k)];
+  }
+  for (int64_t k = static_cast<int64_t>(spectrum.size()); k < n; ++k) {
+    full[static_cast<size_t>(k)] = std::conj(spectrum[static_cast<size_t>(n - k)]);
+  }
+  Fft(full, /*inverse=*/true);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = full[i].real();
+  return out;
+}
+
+std::vector<double> RealDftPacked(const std::vector<double>& x) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  TSG_CHECK_GT(n, 0);
+  const std::vector<Complex> spec = RealDft(x);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  // Non-DC, non-Nyquist harmonics carry two degrees of freedom each; they appear in
+  // the time-domain signal twice (positive and negative frequency), hence sqrt(2).
+  const double harmonic_scale = scale * std::sqrt(2.0);
+  std::vector<double> packed(static_cast<size_t>(n));
+  packed[0] = spec[0].real() * scale;
+  int64_t idx = 1;
+  const int64_t half = n / 2;
+  for (int64_t k = 1; k < half + (n % 2 == 0 ? 0 : 1); ++k) {
+    packed[static_cast<size_t>(idx++)] = spec[static_cast<size_t>(k)].real() *
+                                         harmonic_scale;
+    packed[static_cast<size_t>(idx++)] = spec[static_cast<size_t>(k)].imag() *
+                                         harmonic_scale;
+  }
+  if (n % 2 == 0) {
+    packed[static_cast<size_t>(idx++)] = spec[static_cast<size_t>(half)].real() * scale;
+  }
+  TSG_CHECK_EQ(idx, n);
+  return packed;
+}
+
+std::vector<double> InverseRealDftPacked(const std::vector<double>& packed) {
+  const int64_t n = static_cast<int64_t>(packed.size());
+  TSG_CHECK_GT(n, 0);
+  const double scale = std::sqrt(static_cast<double>(n));
+  const double harmonic_scale = scale / std::sqrt(2.0);
+  std::vector<Complex> spec(static_cast<size_t>(n / 2 + 1));
+  spec[0] = Complex(packed[0] * scale, 0.0);
+  int64_t idx = 1;
+  const int64_t half = n / 2;
+  for (int64_t k = 1; k < half + (n % 2 == 0 ? 0 : 1); ++k) {
+    const double re = packed[static_cast<size_t>(idx++)] * harmonic_scale;
+    const double im = packed[static_cast<size_t>(idx++)] * harmonic_scale;
+    spec[static_cast<size_t>(k)] = Complex(re, im);
+  }
+  if (n % 2 == 0) {
+    spec[static_cast<size_t>(half)] =
+        Complex(packed[static_cast<size_t>(idx++)] * scale, 0.0);
+  }
+  return InverseRealDft(spec, n);
+}
+
+}  // namespace tsg::signal

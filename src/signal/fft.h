@@ -1,0 +1,34 @@
+#ifndef TSG_SIGNAL_FFT_H_
+#define TSG_SIGNAL_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace tsg::signal {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT of arbitrary length: iterative radix-2 for powers of two, Bluestein's
+/// chirp-z algorithm otherwise. `inverse` applies the conjugate transform and 1/n
+/// scaling, so Fft(Fft(x), inverse=true) == x.
+void Fft(std::vector<Complex>& x, bool inverse);
+
+/// DFT of a real signal; returns the n/2+1 non-redundant coefficients.
+std::vector<Complex> RealDft(const std::vector<double>& x);
+
+/// Inverse of RealDft for a signal of original length n.
+std::vector<double> InverseRealDft(const std::vector<Complex>& spectrum, int64_t n);
+
+/// Packs the real DFT of a length-n real signal into exactly n real numbers
+/// (DC, Re/Im interleaved harmonics, Nyquist for even n), scaled by 1/sqrt(n) so the
+/// map is orthonormal. This bijection R^n <-> R^n is the frequency-domain
+/// representation the Fourier Flow method trains its coupling layers on.
+std::vector<double> RealDftPacked(const std::vector<double>& x);
+
+/// Inverse of RealDftPacked.
+std::vector<double> InverseRealDftPacked(const std::vector<double>& packed);
+
+}  // namespace tsg::signal
+
+#endif  // TSG_SIGNAL_FFT_H_

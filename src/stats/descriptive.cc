@@ -1,0 +1,85 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace tsg::stats {
+
+Moments ComputeMoments(const std::vector<double>& x) {
+  Moments m;
+  const int64_t n = static_cast<int64_t>(x.size());
+  TSG_CHECK_GT(n, 0);
+  for (double v : x) m.mean += v;
+  m.mean /= static_cast<double>(n);
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double v : x) {
+    const double d = v - m.mean;
+    const double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+    m4 += d2 * d2;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  m.variance = m2;
+  m.stddev = std::sqrt(m2);
+  if (m2 > 1e-300) {
+    m.skewness = m3 / (m.stddev * m.stddev * m.stddev);
+    m.kurtosis = m4 / (m2 * m2);
+  }
+  return m;
+}
+
+double Mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double Variance(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  const double mu = Mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - mu) * (v - mu);
+  return s / static_cast<double>(x.size());
+}
+
+double Median(std::vector<double> x) {
+  TSG_CHECK(!x.empty());
+  const size_t mid = x.size() / 2;
+  std::nth_element(x.begin(), x.begin() + mid, x.end());
+  if (x.size() % 2 == 1) return x[mid];
+  const double hi = x[mid];
+  const double lo = *std::max_element(x.begin(), x.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Min(const std::vector<double>& x) {
+  TSG_CHECK(!x.empty());
+  return *std::min_element(x.begin(), x.end());
+}
+
+double Max(const std::vector<double>& x) {
+  TSG_CHECK(!x.empty());
+  return *std::max_element(x.begin(), x.end());
+}
+
+double SampleStddev(const std::vector<double>& x) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  if (n < 2) return 0.0;
+  const double mu = Mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - mu) * (v - mu);
+  return std::sqrt(s / static_cast<double>(n - 1));
+}
+
+MeanStd Summarize(const std::vector<double>& x) {
+  return {Mean(x), SampleStddev(x)};
+}
+
+}  // namespace tsg::stats

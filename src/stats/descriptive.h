@@ -1,0 +1,40 @@
+#ifndef TSG_STATS_DESCRIPTIVE_H_
+#define TSG_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tsg::stats {
+
+/// First four standardized moments of a sample, the building blocks of the
+/// Skewness Difference (M6) and Kurtosis Difference (M7) measures.
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;  ///< Population (biased) variance, matching Eq. (1)-(2).
+  double stddev = 0.0;
+  double skewness = 0.0;  ///< E[(x-mu)^3] / sigma^3.
+  double kurtosis = 0.0;  ///< E[(x-mu)^4] / sigma^4 (non-excess).
+};
+
+/// Computes moments of a sample; a constant sample yields zero skewness/kurtosis.
+Moments ComputeMoments(const std::vector<double>& x);
+
+double Mean(const std::vector<double>& x);
+/// Population variance.
+double Variance(const std::vector<double>& x);
+double Median(std::vector<double> x);
+double Min(const std::vector<double>& x);
+double Max(const std::vector<double>& x);
+/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double SampleStddev(const std::vector<double>& x);
+
+/// Mean and sample-stddev summary used for the "value +- std" rows the paper reports.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& x);
+
+}  // namespace tsg::stats
+
+#endif  // TSG_STATS_DESCRIPTIVE_H_

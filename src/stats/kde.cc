@@ -1,0 +1,57 @@
+#include "stats/kde.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "stats/descriptive.h"
+
+namespace tsg::stats {
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+}  // namespace
+
+KernelDensity::KernelDensity(std::vector<double> sample, double bandwidth)
+    : sample_(std::move(sample)), bandwidth_(bandwidth) {
+  TSG_CHECK(!sample_.empty());
+  if (bandwidth_ <= 0.0) {
+    // Silverman's rule: 1.06 * sigma * n^(-1/5), floored to stay positive for
+    // near-constant samples.
+    const double sigma = SampleStddev(sample_);
+    bandwidth_ = std::max(
+        1.06 * sigma * std::pow(static_cast<double>(sample_.size()), -0.2), 1e-3);
+  }
+}
+
+double KernelDensity::Evaluate(double x) const {
+  double s = 0.0;
+  for (double v : sample_) {
+    const double z = (x - v) / bandwidth_;
+    s += std::exp(-0.5 * z * z);
+  }
+  return s * kInvSqrt2Pi / (bandwidth_ * static_cast<double>(sample_.size()));
+}
+
+std::vector<double> KernelDensity::EvaluateGrid(double lo, double hi,
+                                                int points) const {
+  TSG_CHECK_GT(points, 1);
+  std::vector<double> out(static_cast<size_t>(points));
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (int i = 0; i < points; ++i) {
+    out[static_cast<size_t>(i)] = Evaluate(lo + step * i);
+  }
+  return out;
+}
+
+double KdeL1Distance(const KernelDensity& a, const KernelDensity& b, double lo,
+                     double hi, int points) {
+  const std::vector<double> pa = a.EvaluateGrid(lo, hi, points);
+  const std::vector<double> pb = b.EvaluateGrid(lo, hi, points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  double s = 0.0;
+  for (size_t i = 0; i < pa.size(); ++i) s += std::fabs(pa[i] - pb[i]) * step;
+  return s;
+}
+
+}  // namespace tsg::stats

@@ -1,0 +1,36 @@
+#ifndef TSG_STATS_KDE_H_
+#define TSG_STATS_KDE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tsg::stats {
+
+/// One-dimensional Gaussian kernel density estimate, backing the Distribution Plot
+/// visualization (M10). Bandwidth defaults to Silverman's rule of thumb.
+class KernelDensity {
+ public:
+  explicit KernelDensity(std::vector<double> sample, double bandwidth = 0.0);
+
+  /// Density estimate at `x`.
+  double Evaluate(double x) const;
+
+  /// Evaluates the density on a uniform grid of `points` values over [lo, hi].
+  std::vector<double> EvaluateGrid(double lo, double hi, int points) const;
+
+  double bandwidth() const { return bandwidth_; }
+
+ private:
+  std::vector<double> sample_;
+  double bandwidth_;
+};
+
+/// L1 distance between two KDEs integrated numerically over their joint support.
+/// This is the scalar summary printed next to the Figure 6 distribution plots so the
+/// visualization has a checkable number.
+double KdeL1Distance(const KernelDensity& a, const KernelDensity& b, double lo,
+                     double hi, int points = 256);
+
+}  // namespace tsg::stats
+
+#endif  // TSG_STATS_KDE_H_

@@ -1,0 +1,144 @@
+#include "stats/rank_tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+#include "stats/distributions.h"
+
+namespace tsg::stats {
+
+std::vector<double> RankWithTies(const std::vector<double>& values, bool ascending) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return ascending ? values[a] < values[b] : values[a] > values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (int64_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+FriedmanResult FriedmanTest(const linalg::Matrix& scores) {
+  const int64_t b = scores.rows();  // blocks
+  const int64_t k = scores.cols();  // treatments
+  TSG_CHECK_GE(b, 2);
+  TSG_CHECK_GE(k, 2);
+
+  FriedmanResult result;
+  result.ranks = linalg::Matrix(b, k);
+  result.rank_sums.assign(k, 0.0);
+
+  for (int64_t row = 0; row < b; ++row) {
+    std::vector<double> block(k);
+    for (int64_t j = 0; j < k; ++j) block[j] = scores(row, j);
+    const std::vector<double> ranks = RankWithTies(block, /*ascending=*/true);
+    for (int64_t j = 0; j < k; ++j) {
+      result.ranks(row, j) = ranks[j];
+      result.rank_sums[j] += ranks[j];
+    }
+  }
+
+  result.average_ranks.resize(k);
+  for (int64_t j = 0; j < k; ++j) {
+    result.average_ranks[j] = result.rank_sums[j] / static_cast<double>(b);
+  }
+
+  // Tie-corrected Friedman statistic:
+  //   chi2 = (k-1) * [ sum_j R_j^2 - b*C ] / (A - b*C),
+  // where A = sum of squared ranks and C = k(k+1)^2/4. Without ties this reduces to
+  // the classic 12/(bk(k+1)) sum R_j^2 - 3b(k+1) form.
+  const double dk = static_cast<double>(k), db = static_cast<double>(b);
+  double a_sum = 0.0;
+  for (int64_t row = 0; row < b; ++row)
+    for (int64_t j = 0; j < k; ++j) a_sum += result.ranks(row, j) * result.ranks(row, j);
+  const double c = dk * (dk + 1.0) * (dk + 1.0) / 4.0;
+  double r2 = 0.0;
+  for (double rj : result.rank_sums) r2 += rj * rj;
+
+  const double denom = a_sum - db * c;
+  if (denom <= 1e-12) {
+    // All blocks rank everything identically tied: no evidence of differences.
+    result.statistic = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  result.statistic = (dk - 1.0) * (r2 / db - db * c) * db / denom;
+  result.p_value = ChiSquareSf(result.statistic, dk - 1.0);
+  return result;
+}
+
+linalg::Matrix ConoverFriedmanPValues(const FriedmanResult& friedman) {
+  const int64_t b = friedman.ranks.rows();
+  const int64_t k = friedman.ranks.cols();
+  const double db = static_cast<double>(b), dk = static_cast<double>(k);
+
+  double a1 = 0.0;  // Sum of squared within-block ranks.
+  for (int64_t i = 0; i < friedman.ranks.size(); ++i) {
+    a1 += friedman.ranks[i] * friedman.ranks[i];
+  }
+  double b1 = 0.0;  // (1/b) * sum_j R_j^2.
+  for (double rj : friedman.rank_sums) b1 += rj * rj;
+  b1 /= db;
+
+  const double df = (db - 1.0) * (dk - 1.0);
+  const double denom2 = 2.0 * db * (a1 - b1) / df;
+  const double se = std::sqrt(std::max(denom2, 1e-300));
+
+  linalg::Matrix p(k, k);
+  for (int64_t i = 0; i < k; ++i) {
+    p(i, i) = 1.0;
+    for (int64_t j = i + 1; j < k; ++j) {
+      const double diff = std::fabs(friedman.rank_sums[i] - friedman.rank_sums[j]);
+      double pv;
+      if (denom2 <= 1e-299) {
+        // Degenerate case: every block produced the identical rank pattern, so the
+        // within-pattern variance is zero. Any rank-sum difference is then perfectly
+        // consistent evidence (p -> 0); equal rank sums are indistinguishable.
+        pv = diff > 0.0 ? 0.0 : 1.0;
+      } else {
+        pv = StudentTTwoSidedSf(diff / se, df);
+      }
+      p(i, j) = pv;
+      p(j, i) = pv;
+    }
+  }
+  return p;
+}
+
+std::vector<int> CriticalDifferenceTiers(const FriedmanResult& friedman,
+                                         const linalg::Matrix& pairwise_p,
+                                         double alpha) {
+  const int64_t k = static_cast<int64_t>(friedman.average_ranks.size());
+  TSG_CHECK_EQ(pairwise_p.rows(), k);
+  std::vector<int64_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b2) {
+    return friedman.average_ranks[a] < friedman.average_ranks[b2];
+  });
+
+  std::vector<int> tiers(k, 0);
+  int tier = 0;
+  int64_t tier_head = order[0];
+  tiers[tier_head] = 0;
+  for (int64_t pos = 1; pos < k; ++pos) {
+    const int64_t m = order[pos];
+    if (pairwise_p(tier_head, m) < alpha) {
+      ++tier;
+      tier_head = m;
+    }
+    tiers[m] = tier;
+  }
+  return tiers;
+}
+
+}  // namespace tsg::stats

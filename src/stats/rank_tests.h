@@ -1,0 +1,43 @@
+#ifndef TSG_STATS_RANK_TESTS_H_
+#define TSG_STATS_RANK_TESTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tsg::stats {
+
+/// Ranks `values` (1 = smallest when ascending) with ties replaced by average ranks —
+/// the ranking rule used throughout the paper's §6.4 analysis.
+std::vector<double> RankWithTies(const std::vector<double>& values,
+                                 bool ascending = true);
+
+/// Friedman test over a blocks x treatments score matrix (rows = blocks such as
+/// dataset/measure combinations, columns = treatments such as TSG methods). Lower
+/// scores rank better (all TSGBench measures are lower-is-better).
+struct FriedmanResult {
+  double statistic = 0.0;       ///< Chi-square distributed statistic (k-1 df).
+  double p_value = 1.0;
+  std::vector<double> rank_sums;     ///< Per-treatment rank sums R_j.
+  std::vector<double> average_ranks; ///< R_j / #blocks.
+  linalg::Matrix ranks;              ///< Within-block ranks (blocks x treatments).
+};
+FriedmanResult FriedmanTest(const linalg::Matrix& scores);
+
+/// Conover post-hoc pairwise comparisons following a Friedman test (Conover 1999,
+/// the procedure behind scikit-posthocs' posthoc_conover_friedman, which the paper
+/// cites). Returns the symmetric matrix of two-sided p-values.
+linalg::Matrix ConoverFriedmanPValues(const FriedmanResult& friedman);
+
+/// Groups treatments into statistical tiers for the critical-difference diagram
+/// (Figure 8): treatments are sorted by average rank; a new tier starts when a
+/// treatment differs significantly (p < alpha) from the first member of the current
+/// tier. Returns tier index (0 = best) per treatment, in original column order.
+std::vector<int> CriticalDifferenceTiers(const FriedmanResult& friedman,
+                                         const linalg::Matrix& pairwise_p,
+                                         double alpha = 0.05);
+
+}  // namespace tsg::stats
+
+#endif  // TSG_STATS_RANK_TESTS_H_

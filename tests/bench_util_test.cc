@@ -1,0 +1,110 @@
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+
+namespace tsg::bench {
+namespace {
+
+TEST(BenchConfigTest, DefaultsAndDerivedKnobs) {
+  unsetenv("TSGBENCH_SCALE");
+  unsetenv("TSGBENCH_SEED");
+  setenv("TSGBENCH_OUT", "/tmp/tsg_bench_cfg_test", 1);
+  const BenchConfig config = LoadConfig();
+  EXPECT_DOUBLE_EQ(config.scale, 1.0);
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_EQ(config.out_dir, "/tmp/tsg_bench_cfg_test");
+  EXPECT_TRUE(std::filesystem::exists(config.out_dir));
+  EXPECT_DOUBLE_EQ(config.dataset_scale(), 0.02);
+  EXPECT_EQ(config.stochastic_repeats(), 2);
+  std::filesystem::remove_all(config.out_dir);
+}
+
+TEST(BenchConfigTest, EnvOverridesApply) {
+  setenv("TSGBENCH_SCALE", "2.5", 1);
+  setenv("TSGBENCH_SEED", "123", 1);
+  setenv("TSGBENCH_OUT", "/tmp/tsg_bench_cfg_test2", 1);
+  const BenchConfig config = LoadConfig();
+  EXPECT_DOUBLE_EQ(config.scale, 2.5);
+  EXPECT_EQ(config.seed, 123u);
+  EXPECT_EQ(config.stochastic_repeats(), 5);   // Paper-fidelity repeats at scale>=2.
+  EXPECT_EQ(config.max_eval_samples(), 256);
+  unsetenv("TSGBENCH_SCALE");
+  unsetenv("TSGBENCH_SEED");
+  unsetenv("TSGBENCH_OUT");
+  std::filesystem::remove_all("/tmp/tsg_bench_cfg_test2");
+}
+
+TEST(PrepareDatasetTest, CapsLongWindowDatasets) {
+  BenchConfig config;
+  config.out_dir = "/tmp/tsg_bench_prep_test";
+  const auto boiler = PrepareDataset(data::DatasetId::kBoiler, config);
+  // Boiler (l=192) is capped near 176 windows at scale 1.
+  EXPECT_LE(boiler.train.num_samples() + boiler.test.num_samples(), 200);
+  EXPECT_EQ(boiler.train.seq_len(), 192);
+  std::filesystem::remove_all(config.out_dir);
+}
+
+TEST(ToCellsTest, FiltersMeasuresAndDedupesTime) {
+  const std::vector<GridRow> rows = {
+      {"A", "d1", "MDD", 0.1, 0.0, 3.0},
+      {"A", "d1", "ACD", 0.2, 0.0, 3.0},
+      {"B", "d1", "MDD", 0.3, 0.0, 5.0},
+      {"B", "d1", "ACD", 0.4, 0.0, 5.0},
+  };
+  const auto cells = ToCells(rows, {"MDD", "Time"});
+  // 2 MDD cells + 2 deduplicated Time cells.
+  ASSERT_EQ(cells.size(), 4u);
+  int time_cells = 0;
+  for (const auto& c : cells) {
+    if (c.measure == "Time") {
+      ++time_cells;
+      EXPECT_EQ(c.mean, c.method == "A" ? 3.0 : 5.0);
+    }
+  }
+  EXPECT_EQ(time_cells, 2);
+}
+
+TEST(DistinctTest, PreservesFirstSeenOrder) {
+  const std::vector<GridRow> rows = {
+      {"A", "d2", "MDD", 0, 0, 0},
+      {"A", "d1", "ACD", 0, 0, 0},
+      {"A", "d2", "ACD", 0, 0, 0},
+  };
+  const auto measures = DistinctMeasures(rows);
+  ASSERT_EQ(measures.size(), 2u);
+  EXPECT_EQ(measures[0], "MDD");
+  EXPECT_EQ(measures[1], "ACD");
+  const auto datasets = DistinctDatasets(rows);
+  ASSERT_EQ(datasets.size(), 2u);
+  EXPECT_EQ(datasets[0], "d2");
+}
+
+TEST(GridCacheTest, RoundTripsThroughCsv) {
+  BenchConfig config;
+  config.out_dir = "/tmp/tsg_bench_cache_test";
+  config.scale = 0.31;  // Unique cache key for this test.
+  std::filesystem::create_directories(config.out_dir);
+
+  // Seed the cache by computing a 1x1 grid with a minimal budget.
+  BenchConfig tiny = config;
+  const std::vector<std::string> methods = {"TimeVAE"};
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg};
+  const auto rows = LoadOrComputeGrid(tiny, methods, datasets, /*force=*/true);
+  ASSERT_FALSE(rows.empty());
+
+  // Second call must hit the cache and return identical values.
+  const auto cached = LoadOrComputeGrid(tiny, methods, datasets, /*force=*/false);
+  ASSERT_EQ(cached.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(cached[i].method, rows[i].method);
+    EXPECT_EQ(cached[i].measure, rows[i].measure);
+    EXPECT_NEAR(cached[i].mean, rows[i].mean, 1e-6);
+  }
+  std::filesystem::remove_all(config.out_dir);
+}
+
+}  // namespace
+}  // namespace tsg::bench

@@ -1,0 +1,214 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "distance/distance.h"
+
+namespace tsg::distance {
+namespace {
+
+Matrix RandomSeries(int64_t l, int64_t n, Rng& rng) {
+  Matrix m(l, n);
+  rng.FillNormal(m.data(), m.size());
+  return m;
+}
+
+TEST(EuclideanTest, IdenticalSeriesIsZero) {
+  Rng rng(1);
+  const Matrix a = RandomSeries(24, 5, rng);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(EuclideanTest, KnownValue) {
+  const Matrix a = {{0, 0}, {0, 0}};
+  const Matrix b = {{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(EuclideanTest, Symmetry) {
+  Rng rng(2);
+  const Matrix a = RandomSeries(10, 3, rng);
+  const Matrix b = RandomSeries(10, 3, rng);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), EuclideanDistance(b, a));
+}
+
+TEST(EuclideanTest, TriangleInequality) {
+  Rng rng(3);
+  const Matrix a = RandomSeries(8, 2, rng);
+  const Matrix b = RandomSeries(8, 2, rng);
+  const Matrix c = RandomSeries(8, 2, rng);
+  EXPECT_LE(EuclideanDistance(a, c),
+            EuclideanDistance(a, b) + EuclideanDistance(b, c) + 1e-12);
+}
+
+TEST(DtwTest, IdenticalSeriesIsZero) {
+  Rng rng(4);
+  const Matrix a = RandomSeries(30, 4, rng);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(DtwTest, Symmetry) {
+  Rng rng(5);
+  const Matrix a = RandomSeries(12, 2, rng);
+  const Matrix b = RandomSeries(15, 2, rng);
+  EXPECT_NEAR(DtwDistance(a, b), DtwDistance(b, a), 1e-12);
+}
+
+TEST(DtwTest, NeverExceedsEuclideanForEqualLengths) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix a = RandomSeries(20, 3, rng);
+    const Matrix b = RandomSeries(20, 3, rng);
+    EXPECT_LE(DtwDistance(a, b), EuclideanDistance(a, b) + 1e-9);
+  }
+}
+
+TEST(DtwTest, AlignsTimeShiftedSignals) {
+  // A sine and its shifted copy: large ED, small DTW.
+  const int l = 60;
+  Matrix a(l, 1), b(l, 1);
+  for (int t = 0; t < l; ++t) {
+    a(t, 0) = std::sin(2.0 * M_PI * t / 20.0);
+    b(t, 0) = std::sin(2.0 * M_PI * (t - 3) / 20.0);
+  }
+  // Warping absorbs the shift except at the boundaries, so DTW is far below ED.
+  EXPECT_LT(DtwDistance(a, b), 0.5 * EuclideanDistance(a, b));
+}
+
+TEST(DtwTest, HandlesDifferentLengths) {
+  Rng rng(7);
+  const Matrix a = RandomSeries(10, 2, rng);
+  const Matrix b = RandomSeries(25, 2, rng);
+  const double d = DtwDistance(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(DtwTest, BandZeroEqualsEuclideanForEqualLengths) {
+  Rng rng(8);
+  const Matrix a = RandomSeries(16, 3, rng);
+  const Matrix b = RandomSeries(16, 3, rng);
+  EXPECT_NEAR(DtwDistance(a, b, /*band=*/0), EuclideanDistance(a, b), 1e-9);
+}
+
+TEST(DtwTest, WiderBandNeverIncreasesDistance) {
+  Rng rng(9);
+  const Matrix a = RandomSeries(20, 2, rng);
+  const Matrix b = RandomSeries(20, 2, rng);
+  double prev = DtwDistance(a, b, 0);
+  for (int band : {1, 2, 5, 10, 20}) {
+    const double d = DtwDistance(a, b, band);
+    EXPECT_LE(d, prev + 1e-9);
+    prev = d;
+  }
+}
+
+TEST(FrechetTest, IdenticalSetsGiveZero) {
+  Rng rng(10);
+  const Matrix e = RandomSeries(200, 6, rng);
+  auto fid = FrechetDistance(e, e);
+  ASSERT_TRUE(fid.ok());
+  EXPECT_NEAR(fid.value(), 0.0, 1e-6);
+}
+
+TEST(FrechetTest, MeanShiftGivesSquaredDistance) {
+  Rng rng(11);
+  Matrix a = RandomSeries(5000, 3, rng);
+  Matrix b = a;
+  for (int64_t i = 0; i < b.rows(); ++i) b(i, 0) += 2.0;
+  auto fid = FrechetDistance(a, b);
+  ASSERT_TRUE(fid.ok());
+  EXPECT_NEAR(fid.value(), 4.0, 0.05);
+}
+
+TEST(FrechetTest, ScaleChangeIsDetected) {
+  Rng rng(12);
+  Matrix a = RandomSeries(5000, 2, rng);
+  Matrix b = RandomSeries(5000, 2, rng);
+  b *= 3.0;
+  auto fid = FrechetDistance(a, b);
+  ASSERT_TRUE(fid.ok());
+  // Two independent N(0,1) vs N(0,9) dims: FID ~= 2 * (1 + 9 - 2*3) = 8.
+  EXPECT_NEAR(fid.value(), 8.0, 0.5);
+}
+
+TEST(FrechetTest, RejectsDimensionMismatch) {
+  EXPECT_FALSE(FrechetDistance(Matrix(10, 2), Matrix(10, 3)).ok());
+}
+
+TEST(FrechetTest, RejectsTooFewSamples) {
+  EXPECT_FALSE(FrechetDistance(Matrix(1, 2), Matrix(10, 2)).ok());
+}
+
+TEST(MmdTest, SameDistributionIsSmall) {
+  Rng rng(13);
+  const Matrix a = RandomSeries(150, 4, rng);
+  const Matrix b = RandomSeries(150, 4, rng);
+  EXPECT_LT(std::fabs(RbfMmd(a, b)), 0.02);
+}
+
+TEST(MmdTest, ShiftedDistributionIsLarger) {
+  Rng rng(14);
+  const Matrix a = RandomSeries(150, 4, rng);
+  Matrix b = RandomSeries(150, 4, rng);
+  for (int64_t i = 0; i < b.size(); ++i) b[i] += 2.0;
+  EXPECT_GT(RbfMmd(a, b), 10.0 * std::fabs(RbfMmd(a, a)) + 0.05);
+}
+
+TEST(MmdTest, ExplicitGammaIsAccepted) {
+  Rng rng(15);
+  const Matrix a = RandomSeries(50, 2, rng);
+  const Matrix b = RandomSeries(50, 2, rng);
+  const double d = RbfMmd(a, b, 0.5);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+}  // namespace
+}  // namespace tsg::distance
+
+namespace tsg::distance {
+namespace {
+
+TEST(DtwIndependentTest, EqualsDependentForUnivariate) {
+  Rng rng(20);
+  const Matrix a = RandomSeries(18, 1, rng);
+  const Matrix b = RandomSeries(18, 1, rng);
+  EXPECT_NEAR(DtwIndependent(a, b), DtwDistance(a, b), 1e-12);
+}
+
+TEST(DtwIndependentTest, NeverExceedsDependent) {
+  // Per-dimension paths are a superset of shared-path alignments, so the
+  // independent strategy's optimal cost cannot exceed the dependent one.
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix a = RandomSeries(15, 4, rng);
+    const Matrix b = RandomSeries(15, 4, rng);
+    EXPECT_LE(DtwIndependent(a, b), DtwDistance(a, b) + 1e-9);
+  }
+}
+
+TEST(DtwIndependentTest, IdenticalIsZeroAndSymmetric) {
+  Rng rng(22);
+  const Matrix a = RandomSeries(12, 3, rng);
+  const Matrix b = RandomSeries(14, 3, rng);
+  EXPECT_DOUBLE_EQ(DtwIndependent(a, a), 0.0);
+  EXPECT_NEAR(DtwIndependent(a, b), DtwIndependent(b, a), 1e-12);
+}
+
+TEST(DtwIndependentTest, AbsorbsPerDimensionShifts) {
+  // Two dimensions shifted in *opposite* directions: a shared path cannot align
+  // both, per-dimension paths can.
+  const int l = 40;
+  Matrix a(l, 2), b(l, 2);
+  for (int t = 0; t < l; ++t) {
+    a(t, 0) = std::sin(2.0 * M_PI * t / 16.0);
+    a(t, 1) = std::sin(2.0 * M_PI * t / 16.0);
+    b(t, 0) = std::sin(2.0 * M_PI * (t - 3) / 16.0);
+    b(t, 1) = std::sin(2.0 * M_PI * (t + 3) / 16.0);
+  }
+  EXPECT_LT(DtwIndependent(a, b), 0.7 * DtwDistance(a, b));
+}
+
+}  // namespace
+}  // namespace tsg::distance

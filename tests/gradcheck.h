@@ -1,0 +1,48 @@
+#ifndef TSG_TESTS_GRADCHECK_H_
+#define TSG_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ag/ops.h"
+#include "ag/variable.h"
+
+namespace tsg::testing {
+
+/// Verifies reverse-mode gradients against central finite differences. `make_loss`
+/// must rebuild the scalar loss from the *current values* of `params` on every call
+/// (the graph is reconstructed per invocation).
+inline void ExpectGradCheck(const std::function<ag::Var()>& make_loss,
+                            std::vector<ag::Var> params, double eps = 1e-5,
+                            double tol = 1e-6) {
+  // Analytic gradients.
+  for (auto& p : params) p.ZeroGrad();
+  ag::Var loss = make_loss();
+  ag::Backward(loss);
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    auto& value = params[pi].mutable_value();
+    const auto& grad = params[pi].grad();
+    ASSERT_EQ(grad.size(), value.size()) << "param " << pi << " missing gradient";
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const double saved = value[i];
+      value[i] = saved + eps;
+      const double up = make_loss().value()(0, 0);
+      value[i] = saved - eps;
+      const double down = make_loss().value()(0, 0);
+      value[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double analytic = grad[i];
+      const double scale = std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+      EXPECT_NEAR(analytic, numeric, tol * scale)
+          << "param " << pi << " element " << i;
+    }
+  }
+}
+
+}  // namespace tsg::testing
+
+#endif  // TSG_TESTS_GRADCHECK_H_

@@ -1,0 +1,101 @@
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "io/table.h"
+
+namespace tsg::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("tsg_csv_roundtrip.csv");
+  const linalg::Matrix data = {{1.5, -2.0}, {3.25, 4.0}};
+  ASSERT_TRUE(WriteCsv(path, {"a", "b"}, data).ok());
+  auto read = ReadCsv(path, /*skip_header=*/true);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(linalg::AllClose(read.value(), data, 1e-9));
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, NoHeaderRoundTrip) {
+  const std::string path = TempPath("tsg_csv_nh.csv");
+  const linalg::Matrix data = {{7.0}};
+  ASSERT_TRUE(WriteCsv(path, {}, data).ok());
+  auto read = ReadCsv(path, /*skip_header=*/false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_DOUBLE_EQ(read.value()(0, 0), 7.0);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/path/x.csv", false).ok());
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteCsv("/nonexistent/dir/x.csv", {}, linalg::Matrix(1, 1)).ok());
+}
+
+TEST(CsvTest, NonNumericCellFails) {
+  const std::string path = TempPath("tsg_csv_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "1,hello\n";
+  }
+  auto read = ReadCsv(path, false);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, RaggedRowsFail) {
+  const std::string path = TempPath("tsg_csv_ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n3\n";
+  }
+  EXPECT_FALSE(ReadCsv(path, false).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, RowsWriter) {
+  const std::string path = TempPath("tsg_csv_rows.csv");
+  ASSERT_TRUE(WriteCsvRows(path, {{"name", "score"}, {"TimeVAE", "0.1"}}).ok());
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "name,score");
+  EXPECT_EQ(line2, "TimeVAE,0.1");
+  std::filesystem::remove(path);
+}
+
+TEST(TableTest, AlignedRendering) {
+  Table table({"method", "score"});
+  table.AddRow({"RGAN", "0.45"});
+  table.AddRow({"TimeVQVAE", "0.1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("TimeVQVAE"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Num(-0.5, 3), "-0.500");
+  EXPECT_EQ(Table::MeanStd(0.1, 0.02, 2), "0.10+-0.02");
+}
+
+TEST(TableDeathTest, WrongWidthAborts) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "TSG_CHECK");
+}
+
+}  // namespace
+}  // namespace tsg::io
