@@ -2,12 +2,26 @@
 // stand on: dense kernels, autodiff step cost, recurrent cells, FFT, the distance
 // measures, and one full training step per representative TSG method. These are the
 // numbers behind the Figure 5 training-time row.
+//
+// In addition to the gbench suite, main() times the three parallelized hot paths
+// (GEMM, per-pair DTW, the full measure suite) at 1 thread and at hardware
+// concurrency, and writes the timings to <out_dir>/micro_parallel.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "ag/ops.h"
 #include "base/rng.h"
+#include "base/stopwatch.h"
+#include "base/thread_pool.h"
+#include "bench_util.h"
 #include "core/dataset.h"
+#include "core/harness.h"
 #include "core/method.h"
 #include "data/simulators.h"
 #include "distance/distance.h"
@@ -24,6 +38,22 @@ namespace {
 
 using tsg::Rng;
 using tsg::linalg::Matrix;
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Forces the global pool to state.range(0)-way execution for one benchmark run.
+/// Registered at Arg(1) and Arg(hardware_concurrency) so `benchmark_filter=Parallel`
+/// shows the thread-scaling of each wired path directly.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int n) {
+    tsg::base::ThreadPool::Global().SetMaxParallelism(n);
+  }
+  ~ScopedParallelism() { tsg::base::ThreadPool::Global().SetMaxParallelism(0); }
+};
 
 Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
   Rng rng(seed);
@@ -156,6 +186,132 @@ BENCHMARK_CAPTURE(BM_MethodFit, LS4, std::string("LS4"));
 BENCHMARK_CAPTURE(BM_MethodFit, FourierFlow, std::string("FourierFlow"));
 BENCHMARK_CAPTURE(BM_MethodFit, GT_GAN, std::string("GT-GAN"));
 
+void BM_MatMulParallel(benchmark::State& state) {
+  ScopedParallelism scoped(static_cast<int>(state.range(0)));
+  const Matrix a = RandomMatrix(192, 192, 15);
+  const Matrix b = RandomMatrix(192, 192, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsg::linalg::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMulParallel)->Arg(1)->Arg(HardwareThreads());
+
+void BM_DtwPairsParallel(benchmark::State& state) {
+  ScopedParallelism scoped(static_cast<int>(state.range(0)));
+  // The DTW measure's inner loop: one warped distance per (real, generated) pair.
+  std::vector<Matrix> real, gen;
+  for (int i = 0; i < 16; ++i) {
+    real.push_back(RandomMatrix(96, 4, 200 + i));
+    gen.push_back(RandomMatrix(96, 4, 300 + i));
+  }
+  for (auto _ : state) {
+    const double total = tsg::base::ParallelSum(16, 1, [&](int64_t i) {
+      return tsg::distance::DtwIndependent(real[static_cast<size_t>(i)],
+                                           gen[static_cast<size_t>(i)]);
+    });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_DtwPairsParallel)->Arg(1)->Arg(HardwareThreads());
+
+void BM_MeasureSuiteParallel(benchmark::State& state) {
+  ScopedParallelism scoped(static_cast<int>(state.range(0)));
+  const tsg::core::Dataset real("r", tsg::data::SineBenchmark(24, 16, 2, 41));
+  const tsg::core::Dataset test("t", tsg::data::SineBenchmark(8, 16, 2, 42));
+  const tsg::core::Dataset gen("g", tsg::data::SineBenchmark(24, 16, 2, 43));
+  tsg::core::HarnessOptions options;
+  options.stochastic_repeats = 2;
+  options.embedder.epochs = 2;
+  tsg::core::Harness harness(options);
+  harness.EvaluateGenerated(real, test, gen, "micro");  // Warm the embedder cache.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.EvaluateGenerated(real, test, gen, "micro"));
+  }
+}
+BENCHMARK(BM_MeasureSuiteParallel)->Arg(1)->Arg(HardwareThreads());
+
+/// Best-of-`reps` wall time for `fn` at the given pool width.
+double MinSeconds(int parallelism, int reps, const std::function<void()>& fn) {
+  ScopedParallelism scoped(parallelism);
+  fn();  // Warm-up.
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    tsg::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+/// Times the parallelized hot paths at 1 thread vs hardware concurrency and writes
+/// <out_dir>/micro_parallel.json (the ISSUE acceptance artifact for the >= 1.5x
+/// measure-suite speedup criterion on multi-core hosts).
+void WriteParallelTimings() {
+  const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
+  const int hw = HardwareThreads();
+
+  const Matrix ga = RandomMatrix(192, 192, 15);
+  const Matrix gb = RandomMatrix(192, 192, 16);
+  std::vector<Matrix> real, gen;
+  for (int i = 0; i < 16; ++i) {
+    real.push_back(RandomMatrix(96, 4, 200 + i));
+    gen.push_back(RandomMatrix(96, 4, 300 + i));
+  }
+  const tsg::core::Dataset suite_real("r", tsg::data::SineBenchmark(24, 16, 2, 41));
+  const tsg::core::Dataset suite_test("t", tsg::data::SineBenchmark(8, 16, 2, 42));
+  const tsg::core::Dataset suite_gen("g", tsg::data::SineBenchmark(24, 16, 2, 43));
+  tsg::core::HarnessOptions options;
+  options.stochastic_repeats = 2;
+  options.embedder.epochs = 2;
+  tsg::core::Harness harness(options);
+  harness.EvaluateGenerated(suite_real, suite_test, suite_gen, "micro");
+
+  struct Case {
+    std::string name;
+    std::function<void()> fn;
+  };
+  const std::vector<Case> cases = {
+      {"gemm_192", [&] { benchmark::DoNotOptimize(tsg::linalg::MatMul(ga, gb)); }},
+      {"dtw_pairs_16",
+       [&] {
+         const double total = tsg::base::ParallelSum(16, 1, [&](int64_t i) {
+           return tsg::distance::DtwIndependent(real[static_cast<size_t>(i)],
+                                                gen[static_cast<size_t>(i)]);
+         });
+         benchmark::DoNotOptimize(total);
+       }},
+      {"measure_suite",
+       [&] {
+         benchmark::DoNotOptimize(
+             harness.EvaluateGenerated(suite_real, suite_test, suite_gen, "micro"));
+       }},
+  };
+
+  const std::string path = config.out_dir + "/micro_parallel.json";
+  std::ofstream out(path);
+  out << "{\n  \"hardware_concurrency\": " << hw << ",\n  \"results\": [\n";
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const double t1 = MinSeconds(1, 3, cases[c].fn);
+    const double thw = MinSeconds(hw, 3, cases[c].fn);
+    out << "    {\"name\": \"" << cases[c].name << "\", \"threads\": 1, "
+        << "\"seconds\": " << t1 << "},\n"
+        << "    {\"name\": \"" << cases[c].name << "\", \"threads\": " << hw
+        << ", \"seconds\": " << thw << ", \"speedup_vs_1\": " << t1 / thw << "}"
+        << (c + 1 < cases.size() ? "," : "") << "\n";
+    std::fprintf(stderr, "[micro] %-14s 1t %.4fs  %dt %.4fs  speedup %.2fx\n",
+                 cases[c].name.c_str(), t1, hw, thw, t1 / thw);
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "[micro] wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteParallelTimings();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/thread_pool.h"
 #include "io/csv.h"
 #include "methods/factory.h"
 
@@ -102,6 +103,64 @@ bool CacheCovers(const std::vector<GridRow>& rows,
 
 }  // namespace
 
+std::vector<GridRow> RunGrid(const BenchConfig& config,
+                             const std::vector<std::string>& methods,
+                             const std::vector<data::DatasetId>& datasets) {
+  core::HarnessOptions options;
+  options.fit.epoch_scale = config.epoch_scale();
+  options.fit.seed = config.seed;
+  options.stochastic_repeats = config.stochastic_repeats();
+  options.max_eval_samples = config.max_eval_samples();
+  options.embedder.epochs = std::max(4, static_cast<int>(10 * config.scale));
+  options.seed = config.seed;
+  core::Harness harness(options);
+
+  // Stage 1: simulate + preprocess each dataset (independent and deterministic).
+  const auto prepared = base::ParallelMap<core::Preprocessed>(
+      static_cast<int64_t>(datasets.size()), 1, [&](int64_t di) {
+        core::Preprocessed pre =
+            PrepareDataset(datasets[static_cast<size_t>(di)], config);
+        std::fprintf(stderr, "[grid] dataset %s: R_train=%lld l=%lld N=%lld\n",
+                     pre.train.name().c_str(),
+                     static_cast<long long>(pre.train.num_samples()),
+                     static_cast<long long>(pre.train.seq_len()),
+                     static_cast<long long>(pre.train.num_features()));
+        return pre;
+      });
+
+  // Stage 2: fit + evaluate every (method, dataset) cell concurrently. Each cell
+  // builds its own method instance and seeds its Rng chain from the config alone,
+  // so cells never share mutable state (the harness serializes its embedder cache
+  // internally) and the row order below matches the serial dataset-major sweep.
+  const int64_t num_methods = static_cast<int64_t>(methods.size());
+  const int64_t num_cells = static_cast<int64_t>(datasets.size()) * num_methods;
+  const auto cell_rows = base::ParallelMap<std::vector<GridRow>>(
+      num_cells, 1, [&](int64_t cell) {
+        const core::Preprocessed& pre =
+            prepared[static_cast<size_t>(cell / num_methods)];
+        const std::string& method_name =
+            methods[static_cast<size_t>(cell % num_methods)];
+        auto method = methods::CreateMethod(method_name);
+        TSG_CHECK(method.ok()) << method.status().ToString();
+        const core::MethodRunResult result =
+            harness.RunMethod(*method.value(), pre.train, pre.test);
+        std::vector<GridRow> rows;
+        rows.reserve(result.scores.size());
+        for (const auto& [measure, summary] : result.scores) {
+          rows.push_back({method_name, pre.train.name(), measure, summary.mean,
+                          summary.std, result.fit_seconds});
+        }
+        std::fprintf(stderr, "[grid]   %-12s / %-10s fit %.1fs\n",
+                     method_name.c_str(), pre.train.name().c_str(),
+                     result.fit_seconds);
+        return rows;
+      });
+
+  std::vector<GridRow> rows;
+  for (const auto& cell : cell_rows) rows.insert(rows.end(), cell.begin(), cell.end());
+  return rows;
+}
+
 std::vector<GridRow> LoadOrComputeGrid(const BenchConfig& config,
                                        const std::vector<std::string>& methods,
                                        const std::vector<data::DatasetId>& datasets,
@@ -116,36 +175,7 @@ std::vector<GridRow> LoadOrComputeGrid(const BenchConfig& config,
     }
   }
 
-  core::HarnessOptions options;
-  options.fit.epoch_scale = config.epoch_scale();
-  options.fit.seed = config.seed;
-  options.stochastic_repeats = config.stochastic_repeats();
-  options.max_eval_samples = config.max_eval_samples();
-  options.embedder.epochs = std::max(4, static_cast<int>(10 * config.scale));
-  options.seed = config.seed;
-  core::Harness harness(options);
-
-  std::vector<GridRow> rows;
-  for (data::DatasetId id : datasets) {
-    const core::Preprocessed pre = PrepareDataset(id, config);
-    std::fprintf(stderr, "[grid] dataset %s: R_train=%lld l=%lld N=%lld\n",
-                 pre.train.name().c_str(),
-                 static_cast<long long>(pre.train.num_samples()),
-                 static_cast<long long>(pre.train.seq_len()),
-                 static_cast<long long>(pre.train.num_features()));
-    for (const std::string& method_name : methods) {
-      auto method = methods::CreateMethod(method_name);
-      TSG_CHECK(method.ok()) << method.status().ToString();
-      const core::MethodRunResult result =
-          harness.RunMethod(*method.value(), pre.train, pre.test);
-      for (const auto& [measure, summary] : result.scores) {
-        rows.push_back({method_name, pre.train.name(), measure, summary.mean,
-                        summary.std, result.fit_seconds});
-      }
-      std::fprintf(stderr, "[grid]   %-12s fit %.1fs\n", method_name.c_str(),
-                   result.fit_seconds);
-    }
-  }
+  std::vector<GridRow> rows = RunGrid(config, methods, datasets);
   WriteCache(cache_path, rows);
   return rows;
 }

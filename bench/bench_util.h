@@ -43,6 +43,15 @@ struct GridRow {
 /// Preprocesses one simulated dataset under the benchmark defaults.
 core::Preprocessed PrepareDataset(data::DatasetId id, const BenchConfig& config);
 
+/// Computes the benchmarking grid: every (method, dataset) cell is fitted and
+/// evaluated as an independent task on the global thread pool (TSG_THREADS-many at
+/// once), and rows are assembled in the serial dataset-major order. Every cell
+/// seeds its own Rng chain from the config, so the rows are bit-identical to a
+/// single-threaded run. Used by the fig1/fig5/fig8 binaries via LoadOrComputeGrid.
+std::vector<GridRow> RunGrid(const BenchConfig& config,
+                             const std::vector<std::string>& methods,
+                             const std::vector<data::DatasetId>& datasets);
+
 /// Runs the full benchmarking grid (methods x datasets x measure suite) and returns
 /// long-format rows. Results are cached as CSV in <out_dir>/grid_cells.csv keyed by
 /// the config; reruns with the same config load the cache so the Figure 1/5/8

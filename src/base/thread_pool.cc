@@ -1,0 +1,166 @@
+#include "base/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "base/check.h"
+
+namespace tsg::base {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+int ConfiguredThreads() {
+  if (const char* env = std::getenv("TSG_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return std::min(parsed, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : configured_(std::max(1, num_threads)), max_parallelism_(configured_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureWorkersLocked(configured_ - 1);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(ConfiguredThreads());
+  return *pool;
+}
+
+void ThreadPool::SetMaxParallelism(int n) {
+  const int target = n <= 0 ? configured_ : std::min(n, 256);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked(target - 1);
+  }
+  max_parallelism_.store(target, std::memory_order_relaxed);
+}
+
+void ThreadPool::EnsureWorkersLocked(int count) {
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TSG_CHECK(!shutdown_) << "Schedule on a shut-down ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+namespace {
+
+/// Bookkeeping shared by the caller and the helper tasks of one ParallelFor.
+/// Chunks are claimed from an atomic cursor so load imbalance between chunks does
+/// not idle any participant.
+struct LoopState {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 1;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int pending = 0;
+  std::exception_ptr error;
+
+  void RunChunks() {
+    const bool saved = t_in_parallel_region;
+    t_in_parallel_region = true;
+    for (;;) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      if (failed.load(std::memory_order_relaxed)) break;
+      const int64_t chunk_begin = begin + c * chunk;
+      const int64_t chunk_end = std::min(end, chunk_begin + chunk);
+      try {
+        (*body)(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    t_in_parallel_region = saved;
+  }
+};
+
+}  // namespace
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain <= 0) grain = 1;
+
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t parallelism = pool.max_parallelism();
+  if (t_in_parallel_region || parallelism <= 1 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  // ~4 chunks per participant balances load without over-fragmenting the range.
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = std::max(grain, (n + parallelism * 4 - 1) / (parallelism * 4));
+  state->num_chunks = (n + state->chunk - 1) / state->chunk;
+  state->body = &body;
+
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(parallelism - 1, state->num_chunks - 1));
+  state->pending = helpers;
+  for (int i = 0; i < helpers; ++i) {
+    pool.Schedule([state] {
+      state->RunChunks();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->done_cv.notify_all();
+    });
+  }
+  state->RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->pending == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace tsg::base

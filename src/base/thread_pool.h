@@ -1,0 +1,113 @@
+#ifndef TSG_BASE_THREAD_POOL_H_
+#define TSG_BASE_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tsg::base {
+
+/// Fixed-size worker pool behind ParallelFor. The process-wide instance is created
+/// lazily on first use and sized from the TSG_THREADS environment variable when set
+/// (clamped to >= 1), otherwise std::thread::hardware_concurrency(). Callers of
+/// ParallelFor participate in the loop themselves, so a pool configured for N-way
+/// parallelism holds N - 1 worker threads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool. Intentionally leaked: worker threads must stay valid through
+  /// static destruction, and the OS reclaims them at process exit.
+  static ThreadPool& Global();
+
+  /// Degree of concurrency ParallelFor may use (including the calling thread).
+  int max_parallelism() const {
+    return max_parallelism_.load(std::memory_order_relaxed);
+  }
+
+  /// Overrides the concurrency degree at runtime (determinism tests, thread-count
+  /// sweeps in benches). n <= 0 restores the configured size. Grows the worker set
+  /// when asked for more than was configured; never shrinks it (idle workers sleep).
+  void SetMaxParallelism(int n);
+
+  /// Enqueues one task for a worker thread. ParallelFor is the main client; exposed
+  /// for ad-hoc background work.
+  void Schedule(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+  void EnsureWorkersLocked(int count);
+
+  const int configured_;
+  std::atomic<int> max_parallelism_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// True while the calling thread is executing a ParallelFor body. Nested parallel
+/// constructs check this and run serially instead of blocking on a pool whose
+/// workers may all be occupied by the outer loop.
+bool InParallelRegion();
+
+/// Runs body(chunk_begin, chunk_end) over a partition of [begin, end) using the
+/// global pool, with chunks of at least `grain` items (grain <= 0 is treated as 1).
+/// Runs serially inline when the range fits in one grain, the pool is capped at one
+/// thread, or the caller is already inside a parallel region.
+///
+/// Determinism contract: the body must write only state owned by its index range.
+/// Cross-item reductions belong *after* the loop, folded in index order (see
+/// ParallelMapReduce) — that is what keeps results bit-identical across thread
+/// counts. The first exception thrown by any chunk is rethrown on the calling
+/// thread; remaining chunks are skipped.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+/// Evaluates map(i) for i in [0, n) in parallel and returns the results in index
+/// order. T must be default-constructible and move-assignable.
+template <typename T, typename MapFn>
+std::vector<T> ParallelMap(int64_t n, int64_t grain, MapFn&& map) {
+  std::vector<T> out(static_cast<size_t>(std::max<int64_t>(n, 0)));
+  ParallelFor(0, n, grain, [&](int64_t chunk_begin, int64_t chunk_end) {
+    for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+      out[static_cast<size_t>(i)] = map(i);
+    }
+  });
+  return out;
+}
+
+/// Parallel map followed by a strictly index-ordered fold: the returned value is
+/// reduce(...reduce(reduce(init, map(0)), map(1))..., map(n-1)). Because every
+/// per-item value is computed independently and the fold order is fixed, the result
+/// is bit-identical for any thread count or grain.
+template <typename T, typename MapFn, typename ReduceFn>
+T ParallelMapReduce(int64_t n, int64_t grain, MapFn&& map, T init,
+                    ReduceFn&& reduce) {
+  std::vector<T> parts = ParallelMap<T>(n, grain, std::forward<MapFn>(map));
+  T acc = std::move(init);
+  for (T& part : parts) acc = reduce(std::move(acc), std::move(part));
+  return acc;
+}
+
+/// Shorthand for the common ordered sum-of-doubles reduction.
+template <typename MapFn>
+double ParallelSum(int64_t n, int64_t grain, MapFn&& map) {
+  return ParallelMapReduce<double>(n, grain, std::forward<MapFn>(map), 0.0,
+                                   [](double acc, double v) { return acc + v; });
+}
+
+}  // namespace tsg::base
+
+#endif  // TSG_BASE_THREAD_POOL_H_

@@ -4,15 +4,23 @@
 #include <cstdio>
 
 #include "base/stopwatch.h"
+#include "base/thread_pool.h"
 
 namespace tsg::core {
 
-Harness::Harness(HarnessOptions options) : options_(std::move(options)) {}
+Harness::Harness(HarnessOptions options)
+    : options_(std::move(options)),
+      suite_(DefaultMeasureSuite(options_.include_ps_entire)) {}
 
 Harness::~Harness() = default;
 
 const embed::SequenceEmbedder& Harness::GetEmbedder(const std::string& key,
                                                     const Dataset& reference) {
+  // One lock covers lookup and fit: concurrent grid cells that share a reference
+  // dataset wait for the first fit instead of training duplicate embedders. The
+  // fit itself is deterministic (fixed seed, fixed reference), so whichever cell
+  // arrives first produces the same embedder.
+  std::lock_guard<std::mutex> lock(embedders_mu_);
   auto it = embedders_.find(key);
   if (it == embedders_.end()) {
     auto embedder = std::make_unique<embed::SequenceEmbedder>(
@@ -35,19 +43,25 @@ std::vector<std::pair<std::string, stats::MeanStd>> Harness::EvaluateGenerated(
   ctx.generated = &generated;
   ctx.embedder = &embedder;
 
-  std::vector<std::pair<std::string, stats::MeanStd>> out;
-  for (const auto& measure : DefaultMeasureSuite(options_.include_ps_entire)) {
-    const int repeats = measure->stochastic() ? options_.stochastic_repeats : 1;
-    std::vector<double> values;
-    values.reserve(static_cast<size_t>(repeats));
-    for (int r = 0; r < repeats; ++r) {
-      ctx.seed = options_.seed + 1000003ULL * static_cast<uint64_t>(r + 1);
-      values.push_back(measure->Evaluate(ctx));
-    }
-    out.emplace_back(measure->name(), stats::Summarize(values));
-    if (options_.verbosity > 0) {
-      std::fprintf(stderr, "    %-10s %.4f\n", measure->name().c_str(),
-                   out.back().second.mean);
+  // Measures are independent given the shared read-only context: each task gets its
+  // own context copy (for the per-repeat seed) and results land in suite order.
+  // Repeat seeds derive from the repeat index, never from the executing thread.
+  const auto out = base::ParallelMap<std::pair<std::string, stats::MeanStd>>(
+      static_cast<int64_t>(suite_.size()), 1, [&](int64_t mi) {
+        const Measure& measure = *suite_[static_cast<size_t>(mi)];
+        const int repeats = measure.stochastic() ? options_.stochastic_repeats : 1;
+        MeasureContext local = ctx;
+        std::vector<double> values;
+        values.reserve(static_cast<size_t>(repeats));
+        for (int r = 0; r < repeats; ++r) {
+          local.seed = options_.seed + 1000003ULL * static_cast<uint64_t>(r + 1);
+          values.push_back(measure.Evaluate(local));
+        }
+        return std::make_pair(measure.name(), stats::Summarize(values));
+      });
+  if (options_.verbosity > 0) {
+    for (const auto& [name, summary] : out) {
+      std::fprintf(stderr, "    %-10s %.4f\n", name.c_str(), summary.mean);
     }
   }
   return out;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,7 +52,11 @@ class Harness {
 
   /// Evaluates an externally produced generated set against a real reference — used
   /// by the Table 4 robustness test and the DA benches. `embedder_key` groups
-  /// embedder reuse (one embedder per reference dataset).
+  /// embedder reuse (one embedder per reference dataset). Independent measures run
+  /// concurrently on the global thread pool (serially when called from inside an
+  /// outer parallel region, e.g. a parallel bench grid); results are collected in
+  /// suite order, so scores are bit-identical for any thread count. Safe to call
+  /// from several threads at once.
   std::vector<std::pair<std::string, stats::MeanStd>> EvaluateGenerated(
       const Dataset& real, const Dataset& real_test, const Dataset& generated,
       const std::string& embedder_key);
@@ -68,6 +73,10 @@ class Harness {
 
  private:
   HarnessOptions options_;
+  /// Built once per harness; Measure::Evaluate is const and the suite is shared by
+  /// every (possibly concurrent) EvaluateGenerated call.
+  std::vector<std::unique_ptr<Measure>> suite_;
+  std::mutex embedders_mu_;
   std::map<std::string, std::unique_ptr<embed::SequenceEmbedder>> embedders_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "ag/ops.h"
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "distance/distance.h"
 #include "nn/dense.h"
 #include "nn/optimizer.h"
@@ -223,18 +224,18 @@ double MarginalDistributionDifference::Evaluate(const MeasureContext& ctx) const
   CheckContext(ctx);
   const int64_t n = ctx.real->num_features();
   const int64_t l = ctx.real->seq_len();
-  double total = 0.0;
-  for (int64_t j = 0; j < n; ++j) {
-    for (int64_t t = 0; t < l; ++t) {
-      const std::vector<double> real_vals = ctx.real->FeatureValuesAt(j, t);
-      // Both histograms share bin edges frozen on the real values at this cell.
-      stats::Histogram real_hist = stats::Histogram::FitRange(real_vals, num_bins_);
-      stats::Histogram gen_hist = real_hist;
-      real_hist.AddAll(real_vals);
-      gen_hist.AddAll(ctx.generated->FeatureValuesAt(j, t));
-      total += real_hist.MeanAbsDiff(gen_hist);
-    }
-  }
+  // One task per (feature, step) histogram cell, summed in cell index order.
+  const double total = base::ParallelSum(n * l, 8, [&](int64_t cell) {
+    const int64_t j = cell / l;
+    const int64_t t = cell % l;
+    const std::vector<double> real_vals = ctx.real->FeatureValuesAt(j, t);
+    // Both histograms share bin edges frozen on the real values at this cell.
+    stats::Histogram real_hist = stats::Histogram::FitRange(real_vals, num_bins_);
+    stats::Histogram gen_hist = real_hist;
+    real_hist.AddAll(real_vals);
+    gen_hist.AddAll(ctx.generated->FeatureValuesAt(j, t));
+    return real_hist.MeanAbsDiff(gen_hist);
+  });
   return total / static_cast<double>(n * l);
 }
 
@@ -258,8 +259,8 @@ double AutocorrelationDifference::Evaluate(const MeasureContext& ctx) const {
     return acc;
   };
 
-  double total = 0.0;
-  for (int64_t j = 0; j < n; ++j) {
+  // Per-feature ACF accumulation is independent across features.
+  const double total = base::ParallelSum(n, 1, [&](int64_t j) {
     const std::vector<double> real_acf = mean_acf(*ctx.real, j);
     const std::vector<double> gen_acf = mean_acf(*ctx.generated, j);
     double s = 0.0;
@@ -267,32 +268,30 @@ double AutocorrelationDifference::Evaluate(const MeasureContext& ctx) const {
       s += std::fabs(real_acf[static_cast<size_t>(k)] -
                      gen_acf[static_cast<size_t>(k)]);
     }
-    total += s / static_cast<double>(max_lag);
-  }
+    return s / static_cast<double>(max_lag);
+  });
   return total / static_cast<double>(n);
 }
 
 double SkewnessDifference::Evaluate(const MeasureContext& ctx) const {
   CheckContext(ctx);
   const int64_t n = ctx.real->num_features();
-  double total = 0.0;
-  for (int64_t j = 0; j < n; ++j) {
+  const double total = base::ParallelSum(n, 1, [&](int64_t j) {
     const auto real_m = stats::ComputeMoments(ctx.real->FeatureValues(j));
     const auto gen_m = stats::ComputeMoments(ctx.generated->FeatureValues(j));
-    total += std::fabs(gen_m.skewness - real_m.skewness);
-  }
+    return std::fabs(gen_m.skewness - real_m.skewness);
+  });
   return total / static_cast<double>(n);
 }
 
 double KurtosisDifference::Evaluate(const MeasureContext& ctx) const {
   CheckContext(ctx);
   const int64_t n = ctx.real->num_features();
-  double total = 0.0;
-  for (int64_t j = 0; j < n; ++j) {
+  const double total = base::ParallelSum(n, 1, [&](int64_t j) {
     const auto real_m = stats::ComputeMoments(ctx.real->FeatureValues(j));
     const auto gen_m = stats::ComputeMoments(ctx.generated->FeatureValues(j));
-    total += std::fabs(gen_m.kurtosis - real_m.kurtosis);
-  }
+    return std::fabs(gen_m.kurtosis - real_m.kurtosis);
+  });
   return total / static_cast<double>(n);
 }
 
@@ -300,10 +299,10 @@ double EuclideanDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
   CheckContext(ctx);
   const int64_t pairs =
       std::min(ctx.real->num_samples(), ctx.generated->num_samples());
-  double total = 0.0;
-  for (int64_t i = 0; i < pairs; ++i) {
-    total += distance::EuclideanDistance(ctx.real->sample(i), ctx.generated->sample(i));
-  }
+  // Index-paired distances are computed in parallel and summed in pair order.
+  const double total = base::ParallelSum(pairs, 16, [&](int64_t i) {
+    return distance::EuclideanDistance(ctx.real->sample(i), ctx.generated->sample(i));
+  });
   return total / static_cast<double>(pairs);
 }
 
@@ -311,14 +310,14 @@ double DtwDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
   CheckContext(ctx);
   const int64_t pairs =
       std::min(ctx.real->num_samples(), ctx.generated->num_samples());
-  double total = 0.0;
-  for (int64_t i = 0; i < pairs; ++i) {
-    total += strategy_ == Strategy::kDependent
-                 ? distance::DtwDistance(ctx.real->sample(i),
-                                         ctx.generated->sample(i), band_)
-                 : distance::DtwIndependent(ctx.real->sample(i),
-                                            ctx.generated->sample(i), band_);
-  }
+  // Each pair runs a full DP table — the most expensive per-item loop in the suite.
+  const double total = base::ParallelSum(pairs, 1, [&](int64_t i) {
+    return strategy_ == Strategy::kDependent
+               ? distance::DtwDistance(ctx.real->sample(i), ctx.generated->sample(i),
+                                       band_)
+               : distance::DtwIndependent(ctx.real->sample(i),
+                                          ctx.generated->sample(i), band_);
+  });
   return total / static_cast<double>(pairs);
 }
 

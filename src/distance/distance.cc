@@ -6,9 +6,48 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "linalg/decomp.h"
 
 namespace tsg::distance {
+
+namespace {
+
+/// Single-dimension DTW over strided series read in place (stride = number of
+/// columns walks down one column of a row-major matrix without copying it).
+/// `prev`/`cur` are caller-provided DP scratch so a multi-dimension caller reuses
+/// one allocation across dimensions. Identical arithmetic to DtwDistance with
+/// dims = 1, so DtwIndependent keeps its exact values.
+double Dtw1D(const double* a, int64_t la, int64_t stride_a, const double* b,
+             int64_t lb, int64_t stride_b, int64_t band, std::vector<double>& prev,
+             std::vector<double>& cur) {
+  TSG_CHECK(la > 0 && lb > 0);
+  if (band < 0) band = std::max(la, lb);
+  band = std::max(band, std::abs(la - lb));
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  prev.assign(static_cast<size_t>(lb + 1), kInf);
+  cur.assign(static_cast<size_t>(lb + 1), kInf);
+  prev[0] = 0.0;
+
+  for (int64_t i = 1; i <= la; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const int64_t j_lo = std::max<int64_t>(1, i - band);
+    const int64_t j_hi = std::min<int64_t>(lb, i + band);
+    const double ai = a[(i - 1) * stride_a];
+    for (int64_t j = j_lo; j <= j_hi; ++j) {
+      const double diff = ai - b[(j - 1) * stride_b];
+      const double best = std::min({prev[static_cast<size_t>(j)],
+                                    prev[static_cast<size_t>(j - 1)],
+                                    cur[static_cast<size_t>(j - 1)]});
+      cur[static_cast<size_t>(j)] = diff * diff + best;
+    }
+    std::swap(prev, cur);
+  }
+  return std::sqrt(prev[static_cast<size_t>(lb)]);
+}
+
+}  // namespace
 
 double EuclideanDistance(const Matrix& a, const Matrix& b) {
   TSG_CHECK(a.SameShape(b));
@@ -57,9 +96,13 @@ double DtwDistance(const Matrix& a, const Matrix& b, int64_t band) {
 
 double DtwIndependent(const Matrix& a, const Matrix& b, int64_t band) {
   TSG_CHECK_EQ(a.cols(), b.cols());
+  // Strided reads walk each column in place; one pair of DP rows is reused across
+  // all dimensions instead of materializing a Matrix per column.
+  std::vector<double> prev, cur;
   double total_sq = 0.0;
   for (int64_t j = 0; j < a.cols(); ++j) {
-    const double d = DtwDistance(a.Col(j), b.Col(j), band);
+    const double d = Dtw1D(a.data() + j, a.rows(), a.cols(), b.data() + j, b.rows(),
+                           b.cols(), band, prev, cur);
     total_sq += d * d;
   }
   return std::sqrt(total_sq);
@@ -120,27 +163,45 @@ double RbfMmd(const Matrix& a, const Matrix& b, double gamma) {
   };
 
   if (gamma <= 0.0) {
-    // Median heuristic over cross distances.
-    std::vector<double> dists;
-    dists.reserve(static_cast<size_t>(n * m));
-    for (int64_t i = 0; i < n; ++i)
-      for (int64_t j = 0; j < m; ++j) dists.push_back(sq_dist(a.data() + i * d,
-                                                              b.data() + j * d));
+    // Median heuristic over cross distances; each row fills its own segment.
+    std::vector<double> dists(static_cast<size_t>(n * m));
+    base::ParallelFor(0, n, 8, [&](int64_t row0, int64_t row1) {
+      for (int64_t i = row0; i < row1; ++i) {
+        const double* ai = a.data() + i * d;
+        for (int64_t j = 0; j < m; ++j) {
+          dists[static_cast<size_t>(i * m + j)] = sq_dist(ai, b.data() + j * d);
+        }
+      }
+    });
     std::nth_element(dists.begin(), dists.begin() + dists.size() / 2, dists.end());
     const double median = std::max(dists[dists.size() / 2], 1e-12);
     gamma = 1.0 / median;
   }
 
-  double kaa = 0.0, kbb = 0.0, kab = 0.0;
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < n; ++j)
-      if (i != j) kaa += std::exp(-gamma * sq_dist(a.data() + i * d, a.data() + j * d));
-  for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < m; ++j)
-      if (i != j) kbb += std::exp(-gamma * sq_dist(b.data() + i * d, b.data() + j * d));
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < m; ++j)
-      kab += std::exp(-gamma * sq_dist(a.data() + i * d, b.data() + j * d));
+  // Kernel-matrix rows are summed independently and reduced in index order, so the
+  // three statistics are bit-identical for any thread count.
+  const double kaa = base::ParallelSum(n, 8, [&](int64_t i) {
+    const double* xi = a.data() + i * d;
+    double s = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (i != j) s += std::exp(-gamma * sq_dist(xi, a.data() + j * d));
+    }
+    return s;
+  });
+  const double kbb = base::ParallelSum(m, 8, [&](int64_t i) {
+    const double* xi = b.data() + i * d;
+    double s = 0.0;
+    for (int64_t j = 0; j < m; ++j) {
+      if (i != j) s += std::exp(-gamma * sq_dist(xi, b.data() + j * d));
+    }
+    return s;
+  });
+  const double kab = base::ParallelSum(n, 8, [&](int64_t i) {
+    const double* xi = a.data() + i * d;
+    double s = 0.0;
+    for (int64_t j = 0; j < m; ++j) s += std::exp(-gamma * sq_dist(xi, b.data() + j * d));
+    return s;
+  });
 
   const double dn = static_cast<double>(n), dm = static_cast<double>(m);
   return kaa / (dn * (dn - 1.0)) + kbb / (dm * (dm - 1.0)) - 2.0 * kab / (dn * dm);

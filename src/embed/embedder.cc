@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ag/ops.h"
+#include "base/thread_pool.h"
 #include "nn/optimizer.h"
 
 namespace tsg::embed {
@@ -122,17 +123,25 @@ Matrix SequenceEmbedder::Embed(const std::vector<Matrix>& samples) const {
   TSG_CHECK(!samples.empty());
   const int64_t n_samples = static_cast<int64_t>(samples.size());
   Matrix out(n_samples, options_.embed_dim);
-  constexpr int64_t kBatch = 256;
-  for (int64_t start = 0; start < n_samples; start += kBatch) {
-    const int64_t end = std::min(start + kBatch, n_samples);
-    std::vector<int64_t> idx(static_cast<size_t>(end - start));
-    for (int64_t i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
-    const int64_t l = samples[static_cast<size_t>(start)].rows();
-    std::vector<Var> steps;
-    for (int64_t t = 0; t < l; ++t) steps.push_back(StepBatch(samples, idx, t));
-    const Var embedding = impl_->Encode(steps);
-    out.SetBlock(start, 0, embedding.value());
-  }
+  // Batches are embedded concurrently: the forward pass only reads the fitted
+  // weights (it allocates fresh tape nodes per call), and each batch writes a
+  // disjoint row range of `out`, so no batch observes another's work.
+  constexpr int64_t kBatch = 64;
+  const int64_t num_batches = (n_samples + kBatch - 1) / kBatch;
+  base::ParallelFor(0, num_batches, 1, [&](int64_t batch0, int64_t batch1) {
+    for (int64_t batch = batch0; batch < batch1; ++batch) {
+      const int64_t start = batch * kBatch;
+      const int64_t end = std::min(start + kBatch, n_samples);
+      std::vector<int64_t> idx(static_cast<size_t>(end - start));
+      for (int64_t i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
+      const int64_t l = samples[static_cast<size_t>(start)].rows();
+      std::vector<Var> steps;
+      steps.reserve(static_cast<size_t>(l));
+      for (int64_t t = 0; t < l; ++t) steps.push_back(StepBatch(samples, idx, t));
+      const Var embedding = impl_->Encode(steps);
+      out.SetBlock(start, 0, embedding.value());
+    }
+  });
   return out;
 }
 

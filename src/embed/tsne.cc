@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "linalg/decomp.h"
 
 namespace tsg::embed {
@@ -18,19 +19,28 @@ namespace {
 Matrix PairwiseSquaredDistances(const Matrix& x) {
   const int64_t n = x.rows(), d = x.cols();
   Matrix dist(n, n);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = i + 1; j < n; ++j) {
-      double s = 0.0;
+  // Pass 1: each task owns the upper-triangle part of its rows. Pass 2 mirrors the
+  // lower triangle once every upper entry exists; splitting the passes keeps every
+  // write owned by exactly one task.
+  base::ParallelFor(0, n, 4, [&](int64_t row0, int64_t row1) {
+    for (int64_t i = row0; i < row1; ++i) {
       const double* xi = x.data() + i * d;
-      const double* xj = x.data() + j * d;
-      for (int64_t k = 0; k < d; ++k) {
-        const double diff = xi[k] - xj[k];
-        s += diff * diff;
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double* xj = x.data() + j * d;
+        double s = 0.0;
+        for (int64_t k = 0; k < d; ++k) {
+          const double diff = xi[k] - xj[k];
+          s += diff * diff;
+        }
+        dist(i, j) = s;
       }
-      dist(i, j) = s;
-      dist(j, i) = s;
     }
-  }
+  });
+  base::ParallelFor(0, n, 16, [&](int64_t row0, int64_t row1) {
+    for (int64_t i = row0; i < row1; ++i) {
+      for (int64_t j = 0; j < i; ++j) dist(i, j) = dist(j, i);
+    }
+  });
   return dist;
 }
 
@@ -41,7 +51,9 @@ Matrix ComputeP(const Matrix& sq_dist, double perplexity) {
   const double target_entropy = std::log(perplexity);
   Matrix p(n, n);
 
-  for (int64_t i = 0; i < n; ++i) {
+  // Each row's bandwidth search is independent and writes only its own row of p.
+  base::ParallelFor(0, n, 4, [&](int64_t row0, int64_t row1) {
+  for (int64_t i = row0; i < row1; ++i) {
     double beta = 1.0, beta_lo = 0.0, beta_hi = 1e300;
     std::vector<double> row(static_cast<size_t>(n), 0.0);
     for (int iter = 0; iter < 60; ++iter) {
@@ -70,16 +82,19 @@ Matrix ComputeP(const Matrix& sq_dist, double perplexity) {
     }
     for (int64_t j = 0; j < n; ++j) p(i, j) = row[static_cast<size_t>(j)];
   }
+  });
 
-  // Symmetrize and normalize to a joint distribution.
+  // Symmetrize and normalize to a joint distribution; the mass total folds
+  // per-row partial sums in row order so it is thread-count independent.
   Matrix joint(n, n);
-  double total = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
+  const double total = base::ParallelSum(n, 16, [&](int64_t i) {
+    double row_total = 0.0;
     for (int64_t j = 0; j < n; ++j) {
       joint(i, j) = (p(i, j) + p(j, i)) / (2.0 * static_cast<double>(n));
-      total += joint(i, j);
+      row_total += joint(i, j);
     }
-  }
+    return row_total;
+  });
   if (total > 0) joint *= 1.0 / total;
   for (int64_t i = 0; i < joint.size(); ++i) joint[i] = std::max(joint[i], 1e-12);
   return joint;
@@ -113,34 +128,45 @@ Matrix Tsne(const Matrix& data, const TsneOptions& options) {
                                 ? options.initial_momentum
                                 : options.final_momentum;
 
-    // Student-t affinities in the embedding.
+    // Student-t affinities in the embedding: upper-triangle rows in parallel with a
+    // row-ordered q_sum reduction, then a mirror pass (same scheme as the pairwise
+    // distances above).
     Matrix num(n, n);
-    double q_sum = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
+    double q_sum = base::ParallelSum(n, 4, [&](int64_t i) {
+      double row_sum = 0.0;
       for (int64_t j = i + 1; j < n; ++j) {
         const double dx = y(i, 0) - y(j, 0);
         const double dy = y(i, 1) - y(j, 1);
         const double v = 1.0 / (1.0 + dx * dx + dy * dy);
         num(i, j) = v;
-        num(j, i) = v;
-        q_sum += 2.0 * v;
+        row_sum += 2.0 * v;
       }
-    }
+      return row_sum;
+    });
+    base::ParallelFor(0, n, 16, [&](int64_t row0, int64_t row1) {
+      for (int64_t i = row0; i < row1; ++i) {
+        for (int64_t j = 0; j < i; ++j) num(i, j) = num(j, i);
+      }
+    });
     q_sum = std::max(q_sum, 1e-300);
 
+    // Attraction/repulsion gradient: row i of `grad` depends only on read-shared
+    // state (p, num, y), so rows are independent.
     Matrix grad(n, 2);
-    for (int64_t i = 0; i < n; ++i) {
-      double gx = 0.0, gy = 0.0;
-      for (int64_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const double q = std::max(num(i, j) / q_sum, 1e-12);
-        const double mult = (exaggeration * p(i, j) - q) * num(i, j);
-        gx += mult * (y(i, 0) - y(j, 0));
-        gy += mult * (y(i, 1) - y(j, 1));
+    base::ParallelFor(0, n, 4, [&](int64_t row0, int64_t row1) {
+      for (int64_t i = row0; i < row1; ++i) {
+        double gx = 0.0, gy = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const double q = std::max(num(i, j) / q_sum, 1e-12);
+          const double mult = (exaggeration * p(i, j) - q) * num(i, j);
+          gx += mult * (y(i, 0) - y(j, 0));
+          gy += mult * (y(i, 1) - y(j, 1));
+        }
+        grad(i, 0) = 4.0 * gx;
+        grad(i, 1) = 4.0 * gy;
       }
-      grad(i, 0) = 4.0 * gx;
-      grad(i, 1) = 4.0 * gy;
-    }
+    });
 
     // Delta-bar-delta gains + momentum update, as in the reference implementation.
     for (int64_t i = 0; i < n; ++i) {

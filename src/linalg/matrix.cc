@@ -4,7 +4,21 @@
 #include <cmath>
 #include <sstream>
 
+#include "base/thread_pool.h"
+
 namespace tsg::linalg {
+
+namespace {
+
+/// Multiply-add count below which a matmul row panel is not worth forking for;
+/// grains are sized so matrices smaller than ~64^3 run serially inline.
+constexpr int64_t kGemmGrainFlops = int64_t{1} << 18;
+
+int64_t GemmRowGrain(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kGemmGrainFlops / std::max<int64_t>(1, flops_per_row));
+}
+
+}  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = static_cast<int64_t>(rows.size());
@@ -49,8 +63,21 @@ Matrix& Matrix::operator-=(const Matrix& other) {
 
 Matrix Matrix::Transpose() const {
   Matrix t(cols_, rows_);
-  for (int64_t i = 0; i < rows_; ++i)
-    for (int64_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  // Blocked raw-pointer sweep: both the source row and the destination columns of a
+  // 32x32 tile stay cache-resident, unlike the naive checked element loop.
+  constexpr int64_t kBlock = 32;
+  const double* src = data_.data();
+  double* dst = t.data();
+  for (int64_t i0 = 0; i0 < rows_; i0 += kBlock) {
+    const int64_t i1 = std::min(rows_, i0 + kBlock);
+    for (int64_t j0 = 0; j0 < cols_; j0 += kBlock) {
+      const int64_t j1 = std::min(cols_, j0 + kBlock);
+      for (int64_t i = i0; i < i1; ++i) {
+        const double* src_row = src + i * cols_;
+        for (int64_t j = j0; j < j1; ++j) dst[j * rows_ + i] = src_row[j];
+      }
+    }
+  }
   return t;
 }
 
@@ -63,16 +90,21 @@ Matrix Matrix::Block(int64_t row0, int64_t col0, int64_t nrows, int64_t ncols) c
       << "block (" << row0 << "," << col0 << "," << nrows << "," << ncols << ") of "
       << rows_ << "x" << cols_;
   Matrix out(nrows, ncols);
-  for (int64_t i = 0; i < nrows; ++i)
-    for (int64_t j = 0; j < ncols; ++j) out(i, j) = (*this)(row0 + i, col0 + j);
+  for (int64_t i = 0; i < nrows; ++i) {
+    const double* src = data_.data() + (row0 + i) * cols_ + col0;
+    std::copy(src, src + ncols, out.data() + i * ncols);
+  }
   return out;
 }
 
 void Matrix::SetBlock(int64_t row0, int64_t col0, const Matrix& block) {
   TSG_CHECK(row0 >= 0 && col0 >= 0 && row0 + block.rows() <= rows_ &&
             col0 + block.cols() <= cols_);
-  for (int64_t i = 0; i < block.rows(); ++i)
-    for (int64_t j = 0; j < block.cols(); ++j) (*this)(row0 + i, col0 + j) = block(i, j);
+  const int64_t ncols = block.cols();
+  for (int64_t i = 0; i < block.rows(); ++i) {
+    const double* src = block.data() + i * ncols;
+    std::copy(src, src + ncols, data_.data() + (row0 + i) * cols_ + col0);
+  }
 }
 
 double Matrix::Sum() const {
@@ -109,22 +141,30 @@ std::string Matrix::DebugString(int64_t max_rows, int64_t max_cols) const {
   return os.str();
 }
 
+// The MatMul* family shares one scheme: the output is partitioned into row panels
+// dispatched through ParallelFor (serial inline below ~64^3 multiply-adds), and
+// every output element accumulates its k-products in ascending order inside exactly
+// one panel — so results are bit-identical for any thread count, and identical to
+// the original serial kernels.
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   TSG_CHECK_EQ(a.cols(), b.rows()) << "matmul " << a.rows() << "x" << a.cols() << " * "
                                    << b.rows() << "x" << b.cols();
   Matrix out(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   // i-k-j loop order keeps the inner loop streaming over contiguous rows of b and out.
-  for (int64_t i = 0; i < m; ++i) {
-    double* out_row = out.data() + i * n;
-    const double* a_row = a.data() + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const double aip = a_row[p];
-      if (aip == 0.0) continue;
-      const double* b_row = b.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+  base::ParallelFor(0, m, GemmRowGrain(k * n), [&](int64_t row0, int64_t row1) {
+    for (int64_t i = row0; i < row1; ++i) {
+      double* out_row = out.data() + i * n;
+      const double* a_row = a.data() + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const double aip = a_row[p];
+        if (aip == 0.0) continue;
+        const double* b_row = b.data() + p * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -132,16 +172,24 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   TSG_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (int64_t p = 0; p < k; ++p) {
-    const double* a_row = a.data() + p * m;
-    const double* b_row = b.data() + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const double aip = a_row[i];
-      if (aip == 0.0) continue;
-      double* out_row = out.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+  // Transpose-aware: a is read down column i (stride m) without materializing a^T.
+  // k is processed in blocks so the touched rows of b stay cache-resident across the
+  // panel's output rows; ascending blocks preserve the per-element p order.
+  constexpr int64_t kBlockK = 64;
+  base::ParallelFor(0, m, GemmRowGrain(k * n), [&](int64_t row0, int64_t row1) {
+    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const int64_t p1 = std::min(k, p0 + kBlockK);
+      for (int64_t i = row0; i < row1; ++i) {
+        double* out_row = out.data() + i * n;
+        for (int64_t p = p0; p < p1; ++p) {
+          const double aip = a.data()[p * m + i];
+          if (aip == 0.0) continue;
+          const double* b_row = b.data() + p * n;
+          for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -149,15 +197,17 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   TSG_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
-    const double* a_row = a.data() + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const double* b_row = b.data() + j * k;
-      double s = 0.0;
-      for (int64_t p = 0; p < k; ++p) s += a_row[p] * b_row[p];
-      out(i, j) = s;
+  base::ParallelFor(0, m, GemmRowGrain(k * n), [&](int64_t row0, int64_t row1) {
+    for (int64_t i = row0; i < row1; ++i) {
+      const double* a_row = a.data() + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        const double* b_row = b.data() + j * k;
+        double s = 0.0;
+        for (int64_t p = 0; p < k; ++p) s += a_row[p] * b_row[p];
+        out(i, j) = s;
+      }
     }
-  }
+  });
   return out;
 }
 

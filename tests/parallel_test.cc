@@ -1,0 +1,275 @@
+// Tests for the parallel execution layer: ThreadPool/ParallelFor semantics
+// (coverage, grain edge cases, nesting, exceptions, ordered reductions) and the
+// determinism contract — every parallelized kernel and every measure in
+// DefaultMeasureSuite must produce byte-identical results whether the pool runs
+// 1-wide or 4-wide (the in-process equivalent of TSG_THREADS=1 vs TSG_THREADS=4,
+// which seeds the pool at startup).
+
+#include "base/thread_pool.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/harness.h"
+#include "core/measures.h"
+#include "data/simulators.h"
+#include "distance/distance.h"
+#include "embed/embedder.h"
+#include "embed/tsne.h"
+#include "linalg/matrix.h"
+
+namespace tsg {
+namespace {
+
+using base::ParallelFor;
+using base::ParallelMap;
+using base::ParallelMapReduce;
+using base::ParallelSum;
+using base::ThreadPool;
+using linalg::Matrix;
+
+/// Forces the global pool to `n`-way execution for the duration of a scope.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int n) { ThreadPool::Global().SetMaxParallelism(n); }
+  ~ScopedParallelism() { ThreadPool::Global().SetMaxParallelism(0); }
+};
+
+TEST(ThreadPoolTest, ConstructorClampsAndReportsParallelism) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.max_parallelism(), 3);
+  ThreadPool clamped(-2);
+  EXPECT_EQ(clamped.max_parallelism(), 1);
+}
+
+TEST(ThreadPoolTest, SetMaxParallelismGrowsAndRestores) {
+  ThreadPool pool(1);
+  pool.SetMaxParallelism(4);
+  EXPECT_EQ(pool.max_parallelism(), 4);
+  pool.SetMaxParallelism(0);  // Restores the configured size.
+  EXPECT_EQ(pool.max_parallelism(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ScopedParallelism scoped(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 7, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST(ParallelForTest, GrainZeroTreatedAsOne) {
+  ScopedParallelism scoped(4);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 100, 0, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoOps) {
+  ScopedParallelism scoped(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 1, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(5, 2, 1, [&](int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, NestedParallelForFallsBackToSerial) {
+  ScopedParallelism scoped(4);
+  EXPECT_FALSE(base::InParallelRegion());
+  std::atomic<bool> saw_region_flag{false};
+  std::atomic<bool> nested_stayed_on_thread{true};
+  ParallelFor(0, 8, 1, [&](int64_t, int64_t) {
+    if (base::InParallelRegion()) saw_region_flag = true;
+    const std::thread::id outer = std::this_thread::get_id();
+    // The nested loop must execute inline on the same thread, not on the pool.
+    ParallelFor(0, 64, 1, [&](int64_t, int64_t) {
+      if (std::this_thread::get_id() != outer) nested_stayed_on_thread = false;
+    });
+  });
+  EXPECT_TRUE(saw_region_flag);
+  EXPECT_TRUE(nested_stayed_on_thread);
+  EXPECT_FALSE(base::InParallelRegion());
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ScopedParallelism scoped(4);
+  EXPECT_THROW(ParallelFor(0, 256, 1,
+                           [&](int64_t b, int64_t) {
+                             if (b >= 64) throw std::runtime_error("chunk failed");
+                           }),
+               std::runtime_error);
+  // The pool must remain usable after an exception.
+  EXPECT_EQ(ParallelSum(100, 1, [](int64_t i) { return double(i); }), 4950.0);
+}
+
+TEST(ParallelMapReduceTest, FoldIsStrictlyIndexOrdered) {
+  ScopedParallelism scoped(4);
+  // String concatenation is non-commutative: any out-of-order fold scrambles it.
+  const std::string joined = ParallelMapReduce<std::string>(
+      26, 1, [](int64_t i) { return std::string(1, static_cast<char>('a' + i)); },
+      std::string(),
+      [](std::string acc, std::string part) { return acc + part; });
+  EXPECT_EQ(joined, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST(ParallelMapReduceTest, SumMatchesSerialBitwise) {
+  auto value = [](int64_t i) { return 1.0 / (1.0 + static_cast<double>(i) * 0.37); };
+  double serial;
+  {
+    ScopedParallelism scoped(1);
+    serial = ParallelSum(5000, 16, value);
+  }
+  ScopedParallelism scoped(4);
+  const double parallel = ParallelSum(5000, 16, value);
+  EXPECT_EQ(std::memcmp(&serial, &parallel, sizeof(double)), 0);
+}
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  rng.FillNormal(m.data(), m.size());
+  return m;
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(double)) == 0;
+}
+
+TEST(ParallelDeterminismTest, MatMulFamilyBitIdentical) {
+  // 80x90 * 90x70 is above the GEMM parallel threshold (~64^3 flops).
+  const Matrix a = RandomMatrix(80, 90, 1);
+  const Matrix b = RandomMatrix(90, 70, 2);
+  const Matrix at = RandomMatrix(90, 80, 3);
+  Matrix serial_ab, serial_ta, serial_tb;
+  {
+    ScopedParallelism scoped(1);
+    serial_ab = linalg::MatMul(a, b);
+    serial_ta = linalg::MatMulTransA(at, b);
+    serial_tb = linalg::MatMulTransB(a, RandomMatrix(70, 90, 4));
+  }
+  ScopedParallelism scoped(4);
+  EXPECT_TRUE(BitIdentical(serial_ab, linalg::MatMul(a, b)));
+  EXPECT_TRUE(BitIdentical(serial_ta, linalg::MatMulTransA(at, b)));
+  EXPECT_TRUE(BitIdentical(serial_tb, linalg::MatMulTransB(a, RandomMatrix(70, 90, 4))));
+}
+
+TEST(ParallelDeterminismTest, RbfMmdBitIdentical) {
+  const Matrix a = RandomMatrix(48, 20, 5);
+  const Matrix b = RandomMatrix(40, 20, 6);
+  double serial_median, serial_fixed;
+  {
+    ScopedParallelism scoped(1);
+    serial_median = distance::RbfMmd(a, b);
+    serial_fixed = distance::RbfMmd(a, b, 0.5);
+  }
+  ScopedParallelism scoped(4);
+  EXPECT_EQ(serial_median, distance::RbfMmd(a, b));
+  EXPECT_EQ(serial_fixed, distance::RbfMmd(a, b, 0.5));
+}
+
+TEST(ParallelDeterminismTest, TsneBitIdentical) {
+  const Matrix data = RandomMatrix(36, 12, 7);
+  embed::TsneOptions options;
+  options.iterations = 30;
+  Matrix serial;
+  {
+    ScopedParallelism scoped(1);
+    serial = embed::Tsne(data, options);
+  }
+  ScopedParallelism scoped(4);
+  EXPECT_TRUE(BitIdentical(serial, embed::Tsne(data, options)));
+}
+
+TEST(DtwIndependentTest, StridedPathMatchesColumnwiseReference) {
+  const Matrix a = RandomMatrix(40, 5, 8);
+  const Matrix b = RandomMatrix(40, 5, 9);
+  for (const int64_t band : {int64_t{-1}, int64_t{3}}) {
+    // Reference: per-column dependent DTW on materialized columns (the old path).
+    double total_sq = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      const double d = distance::DtwDistance(a.Col(j), b.Col(j), band);
+      total_sq += d * d;
+    }
+    EXPECT_EQ(std::sqrt(total_sq), distance::DtwIndependent(a, b, band));
+  }
+  // Single dimension: independent equals dependent exactly.
+  const Matrix u = RandomMatrix(30, 1, 10);
+  const Matrix v = RandomMatrix(30, 1, 11);
+  EXPECT_EQ(distance::DtwDistance(u, v), distance::DtwIndependent(u, v));
+}
+
+TEST(ParallelDeterminismTest, EmbedderBitIdentical) {
+  const std::vector<Matrix> samples = [&] {
+    std::vector<Matrix> out;
+    for (int i = 0; i < 150; ++i) out.push_back(RandomMatrix(10, 3, 100 + i));
+    return out;
+  }();
+  embed::SequenceEmbedder::Options options;
+  options.epochs = 2;
+  Matrix serial;
+  {
+    ScopedParallelism scoped(1);
+    embed::SequenceEmbedder embedder(3, options, 99);
+    embedder.Fit(samples);
+    serial = embedder.Embed(samples);
+  }
+  ScopedParallelism scoped(4);
+  embed::SequenceEmbedder embedder(3, options, 99);
+  embedder.Fit(samples);
+  EXPECT_TRUE(BitIdentical(serial, embedder.Embed(samples)));
+}
+
+/// The tentpole acceptance test: every measure in the default suite — including the
+/// TSTR measures that train networks and C-FID through the shared embedder — must
+/// score byte-identically whether the harness evaluates 1-wide or 4-wide.
+TEST(ParallelDeterminismTest, MeasureSuiteBitIdenticalAcrossThreadCounts) {
+  const core::Dataset real("sine-real", data::SineBenchmark(20, 12, 2, /*seed=*/31));
+  const core::Dataset test("sine-test", data::SineBenchmark(8, 12, 2, /*seed=*/32));
+  const core::Dataset generated("sine-gen",
+                                data::SineBenchmark(20, 12, 2, /*seed=*/33));
+
+  auto run_suite = [&](int parallelism) {
+    ScopedParallelism scoped(parallelism);
+    core::HarnessOptions options;
+    options.stochastic_repeats = 2;
+    options.include_ps_entire = true;
+    options.embedder.epochs = 2;
+    options.seed = 7;
+    core::Harness harness(options);  // Fresh harness: embedder fit included.
+    return harness.EvaluateGenerated(real, test, generated, "sine");
+  };
+
+  const auto serial = run_suite(1);
+  const auto parallel = run_suite(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 10u);  // Full paper suite incl. PS(entire).
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].first, parallel[i].first);
+    EXPECT_EQ(std::memcmp(&serial[i].second.mean, &parallel[i].second.mean,
+                          sizeof(double)),
+              0)
+        << serial[i].first << ": " << serial[i].second.mean << " vs "
+        << parallel[i].second.mean;
+    EXPECT_EQ(std::memcmp(&serial[i].second.std, &parallel[i].second.std,
+                          sizeof(double)),
+              0)
+        << serial[i].first;
+  }
+}
+
+}  // namespace
+}  // namespace tsg
