@@ -58,7 +58,7 @@ void AblationPairing(const tsg::bench::BenchConfig& config) {
            {"identical", &real}, {"resampled", &resampled},
            {"memorizer", &memorizer}}) {
     ctx.generated = gen;
-    table.AddRow({name, tsg::io::Table::Num(ed.Evaluate(ctx), 3),
+    table.AddRow({name, tsg::io::Table::Num(ed.Evaluate(ctx).value(), 3),
                   tsg::io::Table::Num(NearestNeighborEd(real, *gen), 3)});
   }
   table.Print();
@@ -128,12 +128,13 @@ void AblationDtwStrategy(const tsg::bench::BenchConfig& config) {
   tsg::core::MeasureContext ctx;
   ctx.real = &real;
   ctx.generated = &gen;
-  const double dep = tsg::core::DtwDistanceMeasure().Evaluate(ctx);
+  const double dep = tsg::core::DtwDistanceMeasure().Evaluate(ctx).value();
   const double indep =
       tsg::core::DtwDistanceMeasure(-1,
                                     tsg::core::DtwDistanceMeasure::Strategy::
                                         kIndependent)
-          .Evaluate(ctx);
+          .Evaluate(ctx)
+          .value();
   tsg::io::Table table({"Strategy", "mean DTW"});
   table.AddRow({"dependent (TSGBench default)", tsg::io::Table::Num(dep, 3)});
   table.AddRow({"independent", tsg::io::Table::Num(indep, 3)});
@@ -158,8 +159,8 @@ void AblationDsVariance(const tsg::bench::BenchConfig& config) {
     std::vector<double> ds_values, mdd_values;
     for (int r = 0; r < repeats; ++r) {
       ctx.seed = config.seed + 17 * static_cast<uint64_t>(r + 1);
-      ds_values.push_back(ds.Evaluate(ctx));
-      mdd_values.push_back(mdd.Evaluate(ctx));
+      ds_values.push_back(ds.Evaluate(ctx).value());
+      mdd_values.push_back(mdd.Evaluate(ctx).value());
     }
     const auto ds_summary = tsg::stats::Summarize(ds_values);
     const auto mdd_summary = tsg::stats::Summarize(mdd_values);

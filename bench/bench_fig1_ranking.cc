@@ -14,8 +14,10 @@
 int main() {
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   const auto& methods = tsg::methods::AllMethodNames();
-  const auto rows =
+  const auto grid =
       tsg::bench::LoadOrComputeGrid(config, methods, tsg::data::AllDatasets());
+  tsg::bench::ReportFailures(grid);
+  const auto& rows = grid.rows;
   const auto measures = tsg::bench::DistinctMeasures(rows);
   const auto datasets = tsg::bench::DistinctDatasets(rows);
 

@@ -16,7 +16,9 @@ int main() {
   const auto& methods = tsg::methods::AllMethodNames();
   const auto datasets = tsg::data::AllDatasets();
 
-  const auto rows = tsg::bench::LoadOrComputeGrid(config, methods, datasets);
+  const auto grid = tsg::bench::LoadOrComputeGrid(config, methods, datasets);
+  tsg::bench::ReportFailures(grid);
+  const auto& rows = grid.rows;
   const auto measures = tsg::bench::DistinctMeasures(rows);
   const auto dataset_names = tsg::bench::DistinctDatasets(rows);
 

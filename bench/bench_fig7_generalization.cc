@@ -102,7 +102,7 @@ int main() {
         for (DaScenario scenario : {DaScenario::kSingle, DaScenario::kCross,
                                     DaScenario::kReference}) {
           auto method = tsg::methods::CreateMethod(name);
-          TSG_CHECK(method.ok());
+          TSG_CHECK(method.ok());  // Names come from AllMethodNames.
           const Dataset train_set = tsg::core::BuildDaTrainingSet(task, scenario);
           if (!method.value()->Fit(train_set, harness_options.fit).ok()) continue;
 
@@ -114,10 +114,16 @@ int main() {
           const auto scores = harness.EvaluateGenerated(
               reference, task.target_gt, generated,
               target_all.name() + "_gt");
+          if (!scores.ok()) {
+            std::fprintf(stderr, "fig7: %s/%s failed: %s\n", name.c_str(),
+                         tsg::core::DaScenarioName(scenario),
+                         scores.status().ToString().c_str());
+            continue;
+          }
 
           std::vector<std::string> row = {name,
                                           tsg::core::DaScenarioName(scenario)};
-          for (const auto& [measure, summary] : scores) {
+          for (const auto& [measure, summary] : scores.value()) {
             row.push_back(tsg::io::Table::Num(summary.mean, 3));
             csv.push_back({tsg::data::DatasetName(id), labels[target],
                            tsg::core::DaScenarioName(scenario), name, measure,

@@ -31,9 +31,14 @@ void RunShape(tsg::core::Harness& harness, int64_t count, int64_t l, int64_t n,
     const Dataset& generated = identical ? original : resampled;
     const auto scores =
         harness.EvaluateGenerated(original, original, generated, key);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "table4: evaluation failed: %s\n",
+                   scores.status().ToString().c_str());
+      continue;
+    }
     std::vector<std::string> row = {identical ? "Identical" : "RandomSampling",
                                     shape};
-    for (const auto& [name, summary] : scores) {
+    for (const auto& [name, summary] : scores.value()) {
       (void)name;
       row.push_back(tsg::io::Table::MeanStd(summary.mean, summary.std, 3));
     }

@@ -4,11 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <set>
 #include <sstream>
 
 #include "base/thread_pool.h"
+#include "io/atomic_file.h"
 #include "io/csv.h"
+#include "io/json.h"
 #include "methods/factory.h"
 
 namespace tsg::bench {
@@ -45,67 +47,245 @@ core::Preprocessed PrepareDataset(data::DatasetId id, const BenchConfig& config)
 
 namespace {
 
-std::string CachePath(const BenchConfig& config) {
+/// %.17g: doubles survive a write -> parse -> write cycle bit-for-bit, which the
+/// kill/resume byte-identical guarantee depends on.
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string ConfigKey(const BenchConfig& config) {
   std::ostringstream os;
-  os << config.out_dir << "/grid_cells_s" << config.scale << "_r" << config.seed
-     << ".csv";
+  os << "s" << config.scale << "_r" << config.seed;
   return os.str();
 }
 
-std::vector<GridRow> ReadCache(const std::string& path) {
-  std::vector<GridRow> rows;
-  std::ifstream in(path);
-  if (!in) return rows;
-  std::string line;
-  std::getline(in, line);  // Header.
-  while (std::getline(in, line)) {
-    std::stringstream ss(line);
-    GridRow row;
-    std::string mean, stddev, fit;
-    if (!std::getline(ss, row.method, ',') || !std::getline(ss, row.dataset, ',') ||
-        !std::getline(ss, row.measure, ',') || !std::getline(ss, mean, ',') ||
-        !std::getline(ss, stddev, ',') || !std::getline(ss, fit, ',')) {
-      return {};
-    }
-    row.mean = std::atof(mean.c_str());
-    row.stddev = std::atof(stddev.c_str());
-    row.fit_seconds = std::atof(fit.c_str());
-    rows.push_back(std::move(row));
-  }
-  return rows;
+std::string CachePath(const BenchConfig& config) {
+  return config.out_dir + "/grid_cells_" + ConfigKey(config) + ".csv";
 }
 
-void WriteCache(const std::string& path, const std::vector<GridRow>& rows) {
+/// Keeps method/dataset names filesystem-safe for checkpoint file names.
+std::string SanitizeFileName(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// One row per measure for a completed cell, or a single error row for a failed
+/// one. Shared by the per-cell checkpoint files and the whole-grid cache CSV.
+const std::vector<std::string>& CellCsvHeader() {
+  static const auto* kHeader = new std::vector<std::string>{
+      "status", "method", "dataset", "measure",
+      "mean",   "stddev", "fit_seconds", "error"};
+  return *kHeader;
+}
+
+struct CellOutcome {
+  bool failed = false;
+  std::vector<GridRow> rows;   ///< Populated when !failed.
+  CellError error;             ///< Populated when failed.
+};
+
+std::vector<std::vector<std::string>> CellToCsvRows(const CellOutcome& cell) {
   std::vector<std::vector<std::string>> lines;
-  lines.push_back({"method", "dataset", "measure", "mean", "stddev", "fit_seconds"});
-  for (const GridRow& row : rows) {
-    lines.push_back({row.method, row.dataset, row.measure, std::to_string(row.mean),
-                     std::to_string(row.stddev), std::to_string(row.fit_seconds)});
+  if (cell.failed) {
+    lines.push_back({"error", cell.error.method, cell.error.dataset, "", "", "",
+                     "", cell.error.error});
+    return lines;
   }
-  const Status s = io::WriteCsvRows(path, lines);
-  if (!s.ok()) std::fprintf(stderr, "cache write failed: %s\n", s.ToString().c_str());
+  for (const GridRow& row : cell.rows) {
+    lines.push_back({"ok", row.method, row.dataset, row.measure,
+                     FormatDouble(row.mean), FormatDouble(row.stddev),
+                     FormatDouble(row.fit_seconds), ""});
+  }
+  return lines;
 }
 
-bool CacheCovers(const std::vector<GridRow>& rows,
-                 const std::vector<std::string>& methods,
-                 const std::vector<data::DatasetId>& datasets) {
-  for (const std::string& method : methods) {
-    for (data::DatasetId id : datasets) {
-      const std::string dataset = data::DatasetName(id);
-      const bool found = std::any_of(rows.begin(), rows.end(), [&](const GridRow& r) {
-        return r.method == method && r.dataset == dataset;
-      });
-      if (!found) return false;
+/// Parses checkpoint/cache body rows (header already stripped). Returns false on
+/// any malformed row so a corrupt file falls back to recomputation.
+bool ParseCellCsvRows(const std::vector<std::vector<std::string>>& lines,
+                      std::vector<GridRow>* rows,
+                      std::vector<CellError>* failures) {
+  for (const auto& cells : lines) {
+    if (cells.size() != CellCsvHeader().size()) return false;
+    if (cells[0] == "ok") {
+      GridRow row;
+      row.method = cells[1];
+      row.dataset = cells[2];
+      row.measure = cells[3];
+      char* end = nullptr;
+      row.mean = std::strtod(cells[4].c_str(), &end);
+      row.stddev = std::strtod(cells[5].c_str(), &end);
+      row.fit_seconds = std::strtod(cells[6].c_str(), &end);
+      rows->push_back(std::move(row));
+    } else if (cells[0] == "error") {
+      failures->push_back({cells[1], cells[2], cells[7]});
+    } else {
+      return false;
     }
   }
   return true;
 }
 
+std::string CheckpointPath(const BenchConfig& config, const std::string& method,
+                           const std::string& dataset) {
+  return CheckpointDir(config) + "/" + SanitizeFileName(method) + "__" +
+         SanitizeFileName(dataset) + ".csv";
+}
+
+Status WriteCellCheckpoint(const BenchConfig& config, const CellOutcome& cell) {
+  const std::string& method =
+      cell.failed ? cell.error.method : cell.rows.front().method;
+  const std::string& dataset =
+      cell.failed ? cell.error.dataset : cell.rows.front().dataset;
+  std::vector<std::vector<std::string>> lines;
+  lines.push_back(CellCsvHeader());
+  for (auto& line : CellToCsvRows(cell)) lines.push_back(std::move(line));
+  return io::WriteCsvRows(CheckpointPath(config, method, dataset), lines);
+}
+
+/// Loads a completed cell's checkpoint; returns false when absent or invalid (the
+/// cell is then recomputed — never trust a partial or stale file).
+bool LoadCellCheckpoint(const BenchConfig& config, const std::string& method,
+                        const std::string& dataset, CellOutcome* cell) {
+  const std::string path = CheckpointPath(config, method, dataset);
+  if (!std::filesystem::exists(path)) return false;
+  auto records = io::ReadCsvRows(path);
+  if (!records.ok() || records.value().size() < 2) return false;
+  if (records.value()[0] != CellCsvHeader()) return false;
+  std::vector<GridRow> rows;
+  std::vector<CellError> failures;
+  const std::vector<std::vector<std::string>> body(records.value().begin() + 1,
+                                                   records.value().end());
+  if (!ParseCellCsvRows(body, &rows, &failures)) return false;
+  // A checkpoint holds exactly one cell: either score rows or one error record.
+  if (!failures.empty()) {
+    if (failures.size() != 1 || !rows.empty()) return false;
+    if (failures[0].method != method || failures[0].dataset != dataset) {
+      return false;
+    }
+    cell->failed = true;
+    cell->error = failures[0];
+    return true;
+  }
+  if (rows.empty()) return false;
+  for (const GridRow& row : rows) {
+    if (row.method != method || row.dataset != dataset) return false;
+  }
+  cell->failed = false;
+  cell->rows = std::move(rows);
+  return true;
+}
+
+bool ReadCache(const std::string& path, GridResult* result) {
+  if (!std::filesystem::exists(path)) return false;
+  auto records = io::ReadCsvRows(path);
+  if (!records.ok() || records.value().size() < 2) return false;
+  if (records.value()[0] != CellCsvHeader()) return false;
+  const std::vector<std::vector<std::string>> body(records.value().begin() + 1,
+                                                   records.value().end());
+  return ParseCellCsvRows(body, &result->rows, &result->failures);
+}
+
+void WriteCache(const std::string& path, const GridResult& result) {
+  std::vector<std::vector<std::string>> lines;
+  lines.push_back(CellCsvHeader());
+  for (const GridRow& row : result.rows) {
+    lines.push_back({"ok", row.method, row.dataset, row.measure,
+                     FormatDouble(row.mean), FormatDouble(row.stddev),
+                     FormatDouble(row.fit_seconds), ""});
+  }
+  for (const CellError& failure : result.failures) {
+    lines.push_back(
+        {"error", failure.method, failure.dataset, "", "", "", "", failure.error});
+  }
+  const Status s = io::WriteCsvRows(path, lines);
+  if (!s.ok()) std::fprintf(stderr, "cache write failed: %s\n", s.ToString().c_str());
+}
+
+/// The cache covers the request when every (method, dataset) cell was at least
+/// *attempted* — failed cells count, so a grid with a known-bad cell does not
+/// recompute forever.
+bool CacheCovers(const GridResult& result, const std::vector<std::string>& methods,
+                 const std::vector<data::DatasetId>& datasets) {
+  std::set<std::pair<std::string, std::string>> attempted;
+  for (const GridRow& r : result.rows) attempted.insert({r.method, r.dataset});
+  for (const CellError& f : result.failures) {
+    attempted.insert({f.method, f.dataset});
+  }
+  for (const std::string& method : methods) {
+    for (data::DatasetId id : datasets) {
+      if (attempted.count({method, data::DatasetName(id)}) == 0) return false;
+    }
+  }
+  return true;
+}
+
+/// Deterministic JSON artifact: per-cell status and scores in sweep order, no
+/// wall-clock values — identical bytes for a clean run and a kill/resume run.
+void WriteGridSummary(const BenchConfig& config,
+                      const std::vector<std::string>& methods,
+                      const std::vector<data::DatasetId>& datasets,
+                      const std::vector<CellOutcome>& outcomes) {
+  io::JsonWriter json;
+  json.BeginObject();
+  json.Key("scale").Number(config.scale);
+  json.Key("seed").Int(static_cast<int64_t>(config.seed));
+  json.Key("methods").BeginArray();
+  for (const std::string& m : methods) json.String(m);
+  json.EndArray();
+  json.Key("datasets").BeginArray();
+  for (data::DatasetId id : datasets) json.String(data::DatasetName(id));
+  json.EndArray();
+  json.Key("cells").BeginArray();
+  for (const CellOutcome& cell : outcomes) {
+    json.BeginObject();
+    if (cell.failed) {
+      json.Key("method").String(cell.error.method);
+      json.Key("dataset").String(cell.error.dataset);
+      json.Key("status").String("error");
+      json.Key("error").String(cell.error.error);
+    } else {
+      json.Key("method").String(cell.rows.front().method);
+      json.Key("dataset").String(cell.rows.front().dataset);
+      json.Key("status").String("ok");
+      json.Key("scores").BeginObject();
+      for (const GridRow& row : cell.rows) {
+        json.Key(row.measure).BeginObject();
+        json.Key("mean").Number(row.mean);
+        json.Key("stddev").Number(row.stddev);
+        json.EndObject();
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  const Status s = io::WriteFileAtomic(GridSummaryPath(config), json.str() + "\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "summary write failed: %s\n", s.ToString().c_str());
+  }
+}
+
 }  // namespace
 
-std::vector<GridRow> RunGrid(const BenchConfig& config,
-                             const std::vector<std::string>& methods,
-                             const std::vector<data::DatasetId>& datasets) {
+std::string CheckpointDir(const BenchConfig& config) {
+  return config.out_dir + "/grid_ckpt_" + ConfigKey(config);
+}
+
+std::string GridSummaryPath(const BenchConfig& config) {
+  return config.out_dir + "/grid_summary_" + ConfigKey(config) + ".json";
+}
+
+GridResult RunGrid(const BenchConfig& config,
+                   const std::vector<std::string>& methods,
+                   const std::vector<data::DatasetId>& datasets) {
   core::HarnessOptions options;
   options.fit.epoch_scale = config.epoch_scale();
   options.fit.seed = config.seed;
@@ -115,9 +295,44 @@ std::vector<GridRow> RunGrid(const BenchConfig& config,
   options.seed = config.seed;
   core::Harness harness(options);
 
-  // Stage 1: simulate + preprocess each dataset (independent and deterministic).
+  std::filesystem::create_directories(CheckpointDir(config));
+
+  // Resume pass: load completed cells from their checkpoints. Skipping them is
+  // sound because each cell seeds its Rng chain from the config alone and the
+  // shared embedder fit is deterministic — no cell's result depends on whether
+  // another cell was computed in this process or a previous one.
+  const int64_t num_methods = static_cast<int64_t>(methods.size());
+  const int64_t num_cells = static_cast<int64_t>(datasets.size()) * num_methods;
+  std::vector<CellOutcome> outcomes(static_cast<size_t>(num_cells));
+  std::vector<bool> done(static_cast<size_t>(num_cells), false);
+  int64_t resumed = 0;
+  for (int64_t cell = 0; cell < num_cells; ++cell) {
+    const std::string dataset =
+        data::DatasetName(datasets[static_cast<size_t>(cell / num_methods)]);
+    const std::string& method = methods[static_cast<size_t>(cell % num_methods)];
+    if (LoadCellCheckpoint(config, method, dataset,
+                           &outcomes[static_cast<size_t>(cell)])) {
+      done[static_cast<size_t>(cell)] = true;
+      ++resumed;
+    }
+  }
+  if (resumed > 0) {
+    std::fprintf(stderr, "[grid] resumed %lld/%lld cells from %s\n",
+                 static_cast<long long>(resumed),
+                 static_cast<long long>(num_cells), CheckpointDir(config).c_str());
+  }
+
+  // Stage 1: simulate + preprocess each dataset that still has pending cells
+  // (independent and deterministic).
+  std::vector<bool> dataset_needed(datasets.size(), false);
+  for (int64_t cell = 0; cell < num_cells; ++cell) {
+    if (!done[static_cast<size_t>(cell)]) {
+      dataset_needed[static_cast<size_t>(cell / num_methods)] = true;
+    }
+  }
   const auto prepared = base::ParallelMap<core::Preprocessed>(
       static_cast<int64_t>(datasets.size()), 1, [&](int64_t di) {
+        if (!dataset_needed[static_cast<size_t>(di)]) return core::Preprocessed();
         core::Preprocessed pre =
             PrepareDataset(datasets[static_cast<size_t>(di)], config);
         std::fprintf(stderr, "[grid] dataset %s: R_train=%lld l=%lld N=%lld\n",
@@ -128,56 +343,93 @@ std::vector<GridRow> RunGrid(const BenchConfig& config,
         return pre;
       });
 
-  // Stage 2: fit + evaluate every (method, dataset) cell concurrently. Each cell
-  // builds its own method instance and seeds its Rng chain from the config alone,
-  // so cells never share mutable state (the harness serializes its embedder cache
-  // internally) and the row order below matches the serial dataset-major sweep.
-  const int64_t num_methods = static_cast<int64_t>(methods.size());
-  const int64_t num_cells = static_cast<int64_t>(datasets.size()) * num_methods;
-  const auto cell_rows = base::ParallelMap<std::vector<GridRow>>(
-      num_cells, 1, [&](int64_t cell) {
-        const core::Preprocessed& pre =
-            prepared[static_cast<size_t>(cell / num_methods)];
-        const std::string& method_name =
-            methods[static_cast<size_t>(cell % num_methods)];
-        auto method = methods::CreateMethod(method_name);
-        TSG_CHECK(method.ok()) << method.status().ToString();
-        const core::MethodRunResult result =
-            harness.RunMethod(*method.value(), pre.train, pre.test);
-        std::vector<GridRow> rows;
-        rows.reserve(result.scores.size());
-        for (const auto& [measure, summary] : result.scores) {
-          rows.push_back({method_name, pre.train.name(), measure, summary.mean,
-                          summary.std, result.fit_seconds});
+  // Stage 2: fit + evaluate every pending (method, dataset) cell concurrently.
+  // Each cell builds its own method instance and seeds its Rng chain from the
+  // config alone, so cells never share mutable state (the harness serializes its
+  // embedder cache internally) and the row order below matches the serial
+  // dataset-major sweep. A failed cell becomes an error record — the rest of the
+  // grid completes — and every finished cell checkpoints its own file atomically
+  // right away, so a kill at any point loses at most the in-flight cells.
+  base::ParallelFor(0, num_cells, 1, [&](int64_t chunk_begin, int64_t chunk_end) {
+   for (int64_t cell = chunk_begin; cell < chunk_end; ++cell) {
+    if (done[static_cast<size_t>(cell)]) continue;
+    const core::Preprocessed& pre = prepared[static_cast<size_t>(cell / num_methods)];
+    const std::string& method_name =
+        methods[static_cast<size_t>(cell % num_methods)];
+    CellOutcome& outcome = outcomes[static_cast<size_t>(cell)];
+
+    auto method = methods::CreateMethod(method_name);
+    if (!method.ok()) {
+      outcome.failed = true;
+      outcome.error = {method_name, pre.train.name(), method.status().ToString()};
+    } else {
+      auto result = harness.RunMethod(*method.value(), pre.train, pre.test);
+      if (!result.ok()) {
+        outcome.failed = true;
+        outcome.error = {method_name, pre.train.name(),
+                         result.status().ToString()};
+        std::fprintf(stderr, "[grid]   %-12s / %-10s FAILED: %s\n",
+                     method_name.c_str(), pre.train.name().c_str(),
+                     result.status().ToString().c_str());
+      } else {
+        outcome.rows.reserve(result.value().scores.size());
+        for (const auto& [measure, summary] : result.value().scores) {
+          outcome.rows.push_back({method_name, pre.train.name(), measure,
+                                  summary.mean, summary.std,
+                                  result.value().fit_seconds});
         }
         std::fprintf(stderr, "[grid]   %-12s / %-10s fit %.1fs\n",
                      method_name.c_str(), pre.train.name().c_str(),
-                     result.fit_seconds);
-        return rows;
-      });
+                     result.value().fit_seconds);
+      }
+    }
+    const Status ckpt = WriteCellCheckpoint(config, outcome);
+    if (!ckpt.ok()) {
+      std::fprintf(stderr, "checkpoint write failed: %s\n",
+                   ckpt.ToString().c_str());
+    }
+   }
+  });
 
-  std::vector<GridRow> rows;
-  for (const auto& cell : cell_rows) rows.insert(rows.end(), cell.begin(), cell.end());
-  return rows;
+  GridResult result;
+  for (const CellOutcome& outcome : outcomes) {
+    if (outcome.failed) {
+      result.failures.push_back(outcome.error);
+    } else {
+      result.rows.insert(result.rows.end(), outcome.rows.begin(),
+                         outcome.rows.end());
+    }
+  }
+  WriteGridSummary(config, methods, datasets, outcomes);
+  return result;
 }
 
-std::vector<GridRow> LoadOrComputeGrid(const BenchConfig& config,
-                                       const std::vector<std::string>& methods,
-                                       const std::vector<data::DatasetId>& datasets,
-                                       bool force) {
+GridResult LoadOrComputeGrid(const BenchConfig& config,
+                             const std::vector<std::string>& methods,
+                             const std::vector<data::DatasetId>& datasets,
+                             bool force) {
   const std::string cache_path = CachePath(config);
   if (!force) {
-    std::vector<GridRow> cached = ReadCache(cache_path);
-    if (!cached.empty() && CacheCovers(cached, methods, datasets)) {
-      std::fprintf(stderr, "[grid] loaded %zu cached rows from %s\n", cached.size(),
-                   cache_path.c_str());
+    GridResult cached;
+    if (ReadCache(cache_path, &cached) && CacheCovers(cached, methods, datasets)) {
+      std::fprintf(stderr, "[grid] loaded %zu cached rows from %s\n",
+                   cached.rows.size(), cache_path.c_str());
       return cached;
     }
   }
 
-  std::vector<GridRow> rows = RunGrid(config, methods, datasets);
-  WriteCache(cache_path, rows);
-  return rows;
+  GridResult result = RunGrid(config, methods, datasets);
+  WriteCache(cache_path, result);
+  return result;
+}
+
+size_t ReportFailures(const GridResult& grid) {
+  for (const CellError& failure : grid.failures) {
+    std::fprintf(stderr, "[grid] FAILED cell %s / %s: %s\n",
+                 failure.method.c_str(), failure.dataset.c_str(),
+                 failure.error.c_str());
+  }
+  return grid.failures.size();
 }
 
 std::vector<core::CellResult> ToCells(const std::vector<GridRow>& rows,

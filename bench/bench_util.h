@@ -40,26 +40,62 @@ struct GridRow {
   double fit_seconds = 0.0;
 };
 
+/// A (method, dataset) cell that failed recoverably — a diverged fit, non-finite
+/// generated data, or a measure error. The grid records it and keeps going.
+struct CellError {
+  std::string method;
+  std::string dataset;
+  std::string error;  ///< Status string with method/phase/epoch context.
+};
+
+/// The outcome of a grid run: score rows for the cells that succeeded (dataset-
+/// major sweep order) plus an error record per failed cell (same order).
+struct GridResult {
+  std::vector<GridRow> rows;
+  std::vector<CellError> failures;
+};
+
 /// Preprocesses one simulated dataset under the benchmark defaults.
 core::Preprocessed PrepareDataset(data::DatasetId id, const BenchConfig& config);
+
+/// Directory holding one atomically written checkpoint file per completed
+/// (method, dataset) cell, keyed by the config. A killed grid run resumes from
+/// these: completed cells are loaded instead of recomputed, and because every
+/// cell seeds its Rng chain from the config alone, the resumed run's outputs are
+/// byte-identical to an uninterrupted run.
+std::string CheckpointDir(const BenchConfig& config);
+
+/// Path of the deterministic JSON summary artifact written after every grid run:
+/// per-cell status, scores for completed cells, and error records for failed
+/// ones. Wall-clock timings are deliberately excluded (they live in the CSV
+/// cache) so the file is byte-identical across reruns and kill/resume cycles.
+std::string GridSummaryPath(const BenchConfig& config);
 
 /// Computes the benchmarking grid: every (method, dataset) cell is fitted and
 /// evaluated as an independent task on the global thread pool (TSG_THREADS-many at
 /// once), and rows are assembled in the serial dataset-major order. Every cell
 /// seeds its own Rng chain from the config, so the rows are bit-identical to a
-/// single-threaded run. Used by the fig1/fig5/fig8 binaries via LoadOrComputeGrid.
-std::vector<GridRow> RunGrid(const BenchConfig& config,
-                             const std::vector<std::string>& methods,
-                             const std::vector<data::DatasetId>& datasets);
+/// single-threaded run. A failing cell (diverged fit, NaN loss, measure error)
+/// becomes a CellError while the rest of the grid completes. Completed cells are
+/// checkpointed under CheckpointDir() and skipped on the next run; the JSON
+/// summary at GridSummaryPath() is (re)written atomically at the end.
+GridResult RunGrid(const BenchConfig& config,
+                   const std::vector<std::string>& methods,
+                   const std::vector<data::DatasetId>& datasets);
 
 /// Runs the full benchmarking grid (methods x datasets x measure suite) and returns
-/// long-format rows. Results are cached as CSV in <out_dir>/grid_cells.csv keyed by
-/// the config; reruns with the same config load the cache so the Figure 1/5/8
-/// binaries do not recompute each other's work. Set `force` to recompute.
-std::vector<GridRow> LoadOrComputeGrid(const BenchConfig& config,
-                                       const std::vector<std::string>& methods,
-                                       const std::vector<data::DatasetId>& datasets,
-                                       bool force = false);
+/// long-format rows plus failures. Results are cached as CSV in
+/// <out_dir>/grid_cells_*.csv keyed by the config; reruns with the same config load
+/// the cache so the Figure 1/5/8 binaries do not recompute each other's work. Set
+/// `force` to recompute.
+GridResult LoadOrComputeGrid(const BenchConfig& config,
+                             const std::vector<std::string>& methods,
+                             const std::vector<data::DatasetId>& datasets,
+                             bool force = false);
+
+/// Prints any failed cells to stderr; returns the number of failures. Bench mains
+/// call this so partial grids are visible without aborting the figure.
+size_t ReportFailures(const GridResult& grid);
 
 /// Converts grid rows to the RankingAnalysis cell format for a set of measures
 /// (training time is appended as the synthetic measure "Time" when requested).

@@ -71,9 +71,14 @@ int main() {
       tsg::core::Dataset generated(name, method.value()->Generate(count, rng));
       const auto scores = harness.EvaluateGenerated(
           task.target_gt.Head(count), task.target_gt, generated, "boiler_gt");
+      if (!scores.ok()) {
+        std::fprintf(stderr, "evaluation failed: %s\n",
+                     scores.status().ToString().c_str());
+        continue;
+      }
 
       auto lookup = [&scores](const std::string& measure) {
-        for (const auto& [n2, summary] : scores) {
+        for (const auto& [n2, summary] : scores.value()) {
           if (n2 == measure) return summary.mean;
         }
         return 0.0;

@@ -42,7 +42,13 @@ int main() {
   for (const std::string& name : contenders) {
     auto method = tsg::methods::CreateMethod(name);
     TSG_CHECK(method.ok());
-    const auto result = harness.RunMethod(*method.value(), data.train, data.test);
+    const auto run = harness.RunMethod(*method.value(), data.train, data.test);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                   run.status().ToString().c_str());
+      continue;
+    }
+    const auto& result = run.value();
     std::vector<std::string> row = {name, tsg::io::Table::Num(result.fit_seconds, 1)};
     std::vector<double> values;
     measures.clear();

@@ -51,7 +51,7 @@ int main() {
     tsg::core::MeasureContext ctx;
     ctx.real = &reference;
     ctx.generated = &generated;
-    return tsg::core::MarginalDistributionDifference().Evaluate(ctx);
+    return tsg::core::MarginalDistributionDifference().Evaluate(ctx).value();
   };
   tsg::core::TuneOptions tune_options;
   tune_options.rungs = 2;

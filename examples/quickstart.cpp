@@ -58,9 +58,14 @@ int main() {
   tsg::core::Harness harness(harness_options);
   const auto scores = harness.EvaluateGenerated(data.train.Head(count), data.test,
                                                 generated, "stock");
+  if (!scores.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 scores.status().ToString().c_str());
+    return 1;
+  }
 
   tsg::io::Table table({"Measure", "Score (mean +- std)"});
-  for (const auto& [name, summary] : scores) {
+  for (const auto& [name, summary] : scores.value()) {
     table.AddRow({name, tsg::io::Table::MeanStd(summary.mean, summary.std)});
   }
   table.Print();

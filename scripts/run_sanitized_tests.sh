@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the tier-1 test suite under ASan + UBSan and runs it.
+#
+# Usage: scripts/run_sanitized_tests.sh [ctest-args...]
+#
+# Uses the "asan-ubsan" preset from CMakePresets.json (separate build tree in
+# build-asan-ubsan/, so the regular build stays untouched). Any extra arguments
+# are passed to ctest, e.g. `-R CsvTest` to run a subset.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# halt_on_error is implied by -fno-sanitize-recover=all; detect_leaks stays on by
+# default where LeakSanitizer is supported.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"

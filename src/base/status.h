@@ -15,6 +15,10 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  /// Data-dependent numerical failure: a diverged training loss, a non-finite
+  /// gradient, or a measure that produced NaN/Inf. Recoverable — a bench grid
+  /// records the cell as failed and keeps going.
+  kNumericalError,
 };
 
 /// A lightweight, exception-free error carrier in the style of RocksDB's Status /
@@ -41,6 +45,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -77,5 +84,24 @@ class StatusOr {
 };
 
 }  // namespace tsg
+
+/// Propagates a non-OK Status out of the enclosing Status-returning function.
+#define TSG_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::tsg::Status tsg_status_macro_ = (expr);            \
+    if (!tsg_status_macro_.ok()) return tsg_status_macro_; \
+  } while (0)
+
+#define TSG_STATUS_CONCAT_INNER_(a, b) a##b
+#define TSG_STATUS_CONCAT_(a, b) TSG_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr expression; on success assigns the value to `lhs`
+/// (which may include a declaration), otherwise returns the error Status.
+#define TSG_ASSIGN_OR_RETURN(lhs, expr)                                      \
+  TSG_ASSIGN_OR_RETURN_IMPL_(TSG_STATUS_CONCAT_(tsg_statusor_, __LINE__), lhs, expr)
+#define TSG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
 
 #endif  // TSG_BASE_STATUS_H_

@@ -1,6 +1,7 @@
 #include "core/harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "base/stopwatch.h"
@@ -14,8 +15,11 @@ Harness::Harness(HarnessOptions options)
 
 Harness::~Harness() = default;
 
-const embed::SequenceEmbedder& Harness::GetEmbedder(const std::string& key,
-                                                    const Dataset& reference) {
+StatusOr<const embed::SequenceEmbedder*> Harness::GetEmbedder(
+    const std::string& key, const Dataset& reference) {
+  if (reference.empty()) {
+    return Status::InvalidArgument("embedder reference '" + key + "' is empty");
+  }
   // One lock covers lookup and fit: concurrent grid cells that share a reference
   // dataset wait for the first fit instead of training duplicate embedders. The
   // fit itself is deterministic (fixed seed, fixed reference), so whichever cell
@@ -29,24 +33,41 @@ const embed::SequenceEmbedder& Harness::GetEmbedder(const std::string& key,
     embedder->Fit(reference.Head(cap).samples());
     it = embedders_.emplace(key, std::move(embedder)).first;
   }
-  return *it->second;
+  return it->second.get();
 }
 
-std::vector<std::pair<std::string, stats::MeanStd>> Harness::EvaluateGenerated(
-    const Dataset& real, const Dataset& real_test, const Dataset& generated,
-    const std::string& embedder_key) {
-  const embed::SequenceEmbedder& embedder = GetEmbedder(embedder_key, real);
+StatusOr<std::vector<std::pair<std::string, stats::MeanStd>>>
+Harness::EvaluateGenerated(const Dataset& real, const Dataset& real_test,
+                           const Dataset& generated,
+                           const std::string& embedder_key) {
+  if (generated.empty()) {
+    return Status::InvalidArgument("generated set is empty");
+  }
+  for (int64_t i = 0; i < generated.num_samples(); ++i) {
+    if (!linalg::AllFinite(generated.sample(i))) {
+      return Status::NumericalError("generated sample " + std::to_string(i) +
+                                    " contains non-finite values");
+    }
+  }
+  TSG_ASSIGN_OR_RETURN(const embed::SequenceEmbedder* embedder,
+                       GetEmbedder(embedder_key, real));
 
   MeasureContext ctx;
   ctx.real = &real;
   ctx.real_test = &real_test;
   ctx.generated = &generated;
-  ctx.embedder = &embedder;
+  ctx.embedder = embedder;
 
   // Measures are independent given the shared read-only context: each task gets its
   // own context copy (for the per-repeat seed) and results land in suite order.
   // Repeat seeds derive from the repeat index, never from the executing thread.
-  const auto out = base::ParallelMap<std::pair<std::string, stats::MeanStd>>(
+  // Per-measure failures are carried out of the parallel region and reported in
+  // suite order, so the first error is deterministic for any thread count.
+  struct MeasureOutcome {
+    Status status;
+    std::pair<std::string, stats::MeanStd> result;
+  };
+  const auto outcomes = base::ParallelMap<MeasureOutcome>(
       static_cast<int64_t>(suite_.size()), 1, [&](int64_t mi) {
         const Measure& measure = *suite_[static_cast<size_t>(mi)];
         const int repeats = measure.stochastic() ? options_.stochastic_repeats : 1;
@@ -55,10 +76,32 @@ std::vector<std::pair<std::string, stats::MeanStd>> Harness::EvaluateGenerated(
         values.reserve(static_cast<size_t>(repeats));
         for (int r = 0; r < repeats; ++r) {
           local.seed = options_.seed + 1000003ULL * static_cast<uint64_t>(r + 1);
-          values.push_back(measure.Evaluate(local));
+          const StatusOr<double> v = measure.Evaluate(local);
+          if (!v.ok()) {
+            return MeasureOutcome{
+                Status(v.status().code(),
+                       measure.name() + ": " + v.status().message()),
+                {}};
+          }
+          if (!std::isfinite(v.value())) {
+            return MeasureOutcome{
+                Status::NumericalError(measure.name() +
+                                       " produced a non-finite value"),
+                {}};
+          }
+          values.push_back(v.value());
         }
-        return std::make_pair(measure.name(), stats::Summarize(values));
+        return MeasureOutcome{
+            Status::Ok(),
+            std::make_pair(measure.name(), stats::Summarize(values))};
       });
+
+  std::vector<std::pair<std::string, stats::MeanStd>> out;
+  out.reserve(outcomes.size());
+  for (const MeasureOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) return outcome.status;
+    out.push_back(outcome.result);
+  }
   if (options_.verbosity > 0) {
     for (const auto& [name, summary] : out) {
       std::fprintf(stderr, "    %-10s %.4f\n", name.c_str(), summary.mean);
@@ -67,27 +110,40 @@ std::vector<std::pair<std::string, stats::MeanStd>> Harness::EvaluateGenerated(
   return out;
 }
 
-MethodRunResult Harness::RunMethod(TsgMethod& method, const Dataset& train,
-                                   const Dataset& test) {
+StatusOr<MethodRunResult> Harness::RunMethod(TsgMethod& method,
+                                             const Dataset& train,
+                                             const Dataset& test) {
   MethodRunResult result;
   result.method = method.name();
   result.dataset = train.name();
+  const std::string cell = result.method + " / " + result.dataset;
 
   if (options_.verbosity > 0) {
-    std::fprintf(stderr, "[%s / %s] fitting...\n", result.method.c_str(),
-                 result.dataset.c_str());
+    std::fprintf(stderr, "[%s] fitting...\n", cell.c_str());
   }
   Stopwatch watch;
   const Status fit_status = method.Fit(train, options_.fit);
   result.fit_seconds = watch.ElapsedSeconds();
-  TSG_CHECK(fit_status.ok()) << result.method << ": " << fit_status.ToString();
+  if (!fit_status.ok()) {
+    return Status(fit_status.code(),
+                  cell + ": fit failed: " + fit_status.message());
+  }
 
   const int64_t count = std::min(options_.max_eval_samples, train.num_samples());
   Rng gen_rng(options_.seed ^ 0x6E4E12A7);
   Dataset generated(result.method + "@" + result.dataset,
                     method.Generate(count, gen_rng));
+  if (generated.num_samples() != count ||
+      generated.seq_len() != train.seq_len() ||
+      generated.num_features() != train.num_features()) {
+    return Status::Internal(cell + ": Generate returned a malformed sample set");
+  }
   const Dataset reference = train.Head(count);
-  result.scores = EvaluateGenerated(reference, test, generated, result.dataset);
+  auto scores = EvaluateGenerated(reference, test, generated, result.dataset);
+  if (!scores.ok()) {
+    return Status(scores.status().code(), cell + ": " + scores.status().message());
+  }
+  result.scores = std::move(scores).value();
   return result;
 }
 

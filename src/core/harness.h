@@ -46,9 +46,12 @@ class Harness {
   ~Harness();
 
   /// Full protocol for one cell. `train` is the preprocessed 90% split, `test` the
-  /// held-out 10% used by the TSTR measures.
-  MethodRunResult RunMethod(TsgMethod& method, const Dataset& train,
-                            const Dataset& test);
+  /// held-out 10% used by the TSTR measures. Returns a non-OK Status (annotated
+  /// with method and dataset) when the fit diverges, the generated output is
+  /// malformed or non-finite, or a measure fails — the caller records the cell as
+  /// failed and continues, rather than aborting a whole grid.
+  StatusOr<MethodRunResult> RunMethod(TsgMethod& method, const Dataset& train,
+                                      const Dataset& test);
 
   /// Evaluates an externally produced generated set against a real reference — used
   /// by the Table 4 robustness test and the DA benches. `embedder_key` groups
@@ -57,13 +60,16 @@ class Harness {
   /// outer parallel region, e.g. a parallel bench grid); results are collected in
   /// suite order, so scores are bit-identical for any thread count. Safe to call
   /// from several threads at once.
-  std::vector<std::pair<std::string, stats::MeanStd>> EvaluateGenerated(
+  /// Fails (recoverably) on shape mismatches, empty or non-finite generated data,
+  /// and on any measure error — annotated with the measure name.
+  StatusOr<std::vector<std::pair<std::string, stats::MeanStd>>> EvaluateGenerated(
       const Dataset& real, const Dataset& real_test, const Dataset& generated,
       const std::string& embedder_key);
 
   /// Returns (fitting on first use) the context embedder for a reference dataset.
-  const embed::SequenceEmbedder& GetEmbedder(const std::string& key,
-                                             const Dataset& reference);
+  /// Fails when the reference is empty.
+  StatusOr<const embed::SequenceEmbedder*> GetEmbedder(const std::string& key,
+                                                       const Dataset& reference);
 
   const HarnessOptions& options() const { return options_; }
 

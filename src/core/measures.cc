@@ -40,17 +40,29 @@ std::vector<const Matrix*> Pointers(const Dataset& ds, int64_t cap) {
   return out;
 }
 
-void CheckContext(const MeasureContext& ctx) {
-  TSG_CHECK(ctx.real != nullptr && ctx.generated != nullptr);
-  TSG_CHECK(!ctx.real->empty() && !ctx.generated->empty());
-  TSG_CHECK_EQ(ctx.real->num_features(), ctx.generated->num_features());
-  TSG_CHECK_EQ(ctx.real->seq_len(), ctx.generated->seq_len());
+Status ValidateContext(const MeasureContext& ctx) {
+  if (ctx.real == nullptr || ctx.generated == nullptr) {
+    return Status::InvalidArgument("measure context missing real/generated set");
+  }
+  if (ctx.real->empty() || ctx.generated->empty()) {
+    return Status::InvalidArgument("measure context has an empty dataset");
+  }
+  if (ctx.real->num_features() != ctx.generated->num_features() ||
+      ctx.real->seq_len() != ctx.generated->seq_len()) {
+    auto shape = [](const Dataset& ds) {
+      return std::to_string(ds.seq_len()) + "x" + std::to_string(ds.num_features());
+    };
+    return Status::InvalidArgument("real/generated shape mismatch: real " +
+                                   shape(*ctx.real) + " vs generated " +
+                                   shape(*ctx.generated));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
 
-double DiscriminativeScore::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> DiscriminativeScore::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   Rng rng(ctx.seed ^ 0xD15C);
   const int64_t per_class = std::min({options_.max_samples_per_class,
                                       ctx.real->num_samples(),
@@ -118,12 +130,15 @@ double DiscriminativeScore::Evaluate(const MeasureContext& ctx) const {
   return std::fabs(0.5 - acc);
 }
 
-double PredictiveScore::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> PredictiveScore::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   Rng rng(ctx.seed ^ 0x9595);
   const int64_t n = ctx.real->num_features();
   const int64_t l = ctx.real->seq_len();
-  TSG_CHECK_GE(l, 2);
+  if (l < 2) {
+    return Status::InvalidArgument("PS requires seq_len >= 2, got " +
+                                   std::to_string(l));
+  }
 
   // TSTR: train on synthetic (TRTS swaps the roles of the two sets).
   const Dataset& train_source =
@@ -208,20 +223,21 @@ double PredictiveScore::Evaluate(const MeasureContext& ctx) const {
   return err_count == 0 ? 0.0 : abs_err / static_cast<double>(err_count);
 }
 
-double ContextFid::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
-  TSG_CHECK(ctx.embedder != nullptr) << "C-FID requires a fitted embedder";
+StatusOr<double> ContextFid::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
+  if (ctx.embedder == nullptr) {
+    return Status::FailedPrecondition("C-FID requires a fitted embedder");
+  }
   const int64_t cap = 512;
   const Matrix real_emb = ctx.embedder->Embed(
       ctx.real->Head(cap).samples());
   const Matrix gen_emb = ctx.embedder->Embed(ctx.generated->Head(cap).samples());
-  auto fid = distance::FrechetDistance(real_emb, gen_emb);
-  TSG_CHECK(fid.ok()) << fid.status().ToString();
-  return fid.value();
+  // Degenerate covariances (e.g. constant generated data) surface as Status.
+  return distance::FrechetDistance(real_emb, gen_emb);
 }
 
-double MarginalDistributionDifference::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> MarginalDistributionDifference::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t n = ctx.real->num_features();
   const int64_t l = ctx.real->seq_len();
   // One task per (feature, step) histogram cell, summed in cell index order.
@@ -239,8 +255,8 @@ double MarginalDistributionDifference::Evaluate(const MeasureContext& ctx) const
   return total / static_cast<double>(n * l);
 }
 
-double AutocorrelationDifference::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> AutocorrelationDifference::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t n = ctx.real->num_features();
   const int64_t l = ctx.real->seq_len();
   const int64_t max_lag = max_lag_ > 0 ? std::min(max_lag_, l - 1)
@@ -273,8 +289,8 @@ double AutocorrelationDifference::Evaluate(const MeasureContext& ctx) const {
   return total / static_cast<double>(n);
 }
 
-double SkewnessDifference::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> SkewnessDifference::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t n = ctx.real->num_features();
   const double total = base::ParallelSum(n, 1, [&](int64_t j) {
     const auto real_m = stats::ComputeMoments(ctx.real->FeatureValues(j));
@@ -284,8 +300,8 @@ double SkewnessDifference::Evaluate(const MeasureContext& ctx) const {
   return total / static_cast<double>(n);
 }
 
-double KurtosisDifference::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> KurtosisDifference::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t n = ctx.real->num_features();
   const double total = base::ParallelSum(n, 1, [&](int64_t j) {
     const auto real_m = stats::ComputeMoments(ctx.real->FeatureValues(j));
@@ -295,8 +311,8 @@ double KurtosisDifference::Evaluate(const MeasureContext& ctx) const {
   return total / static_cast<double>(n);
 }
 
-double EuclideanDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> EuclideanDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t pairs =
       std::min(ctx.real->num_samples(), ctx.generated->num_samples());
   // Index-paired distances are computed in parallel and summed in pair order.
@@ -306,8 +322,8 @@ double EuclideanDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
   return total / static_cast<double>(pairs);
 }
 
-double DtwDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> DtwDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t pairs =
       std::min(ctx.real->num_samples(), ctx.generated->num_samples());
   // Each pair runs a full DP table — the most expensive per-item loop in the suite.
@@ -321,8 +337,8 @@ double DtwDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
   return total / static_cast<double>(pairs);
 }
 
-double MmdMeasure::Evaluate(const MeasureContext& ctx) const {
-  CheckContext(ctx);
+StatusOr<double> MmdMeasure::Evaluate(const MeasureContext& ctx) const {
+  TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t cap = 256;
   const Matrix real_flat = ctx.real->Head(cap).Flatten();
   const Matrix gen_flat = ctx.generated->Head(cap).Flatten();

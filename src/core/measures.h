@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "core/dataset.h"
 #include "embed/embedder.h"
 
@@ -35,7 +36,7 @@ class Measure {
   Measure(const Measure&) = delete;
   Measure& operator=(const Measure&) = delete;
 
-  virtual double Evaluate(const MeasureContext& ctx) const = 0;
+  virtual StatusOr<double> Evaluate(const MeasureContext& ctx) const = 0;
   virtual std::string name() const = 0;
 
   /// True for the TSTR model-based measures whose value depends on post-hoc network
@@ -58,7 +59,7 @@ class DiscriminativeScore : public Measure {
   DiscriminativeScore() : options_(Options()) {}
   explicit DiscriminativeScore(Options options) : options_(options) {}
 
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override { return "DS"; }
   bool stochastic() const override { return true; }
 
@@ -90,7 +91,7 @@ class PredictiveScore : public Measure {
   explicit PredictiveScore(Mode mode) : mode_(mode), options_(Options()) {}
   PredictiveScore(Mode mode, Options options) : mode_(mode), options_(options) {}
 
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override {
     std::string base = mode_ == Mode::kNextStep ? "PS" : "PS(entire)";
     if (options_.scheme == TstrScheme::kTrts) base += "[TRTS]";
@@ -107,7 +108,7 @@ class PredictiveScore : public Measure {
 /// generated sets in the embedding space of ctx.embedder (ts2vec substitute).
 class ContextFid : public Measure {
  public:
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override { return "C-FID"; }
 };
 
@@ -116,7 +117,7 @@ class ContextFid : public Measure {
 class MarginalDistributionDifference : public Measure {
  public:
   explicit MarginalDistributionDifference(int num_bins = 20) : num_bins_(num_bins) {}
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override { return "MDD"; }
 
  private:
@@ -128,7 +129,7 @@ class MarginalDistributionDifference : public Measure {
 class AutocorrelationDifference : public Measure {
  public:
   explicit AutocorrelationDifference(int64_t max_lag = 0) : max_lag_(max_lag) {}
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override { return "ACD"; }
 
  private:
@@ -138,21 +139,21 @@ class AutocorrelationDifference : public Measure {
 /// M6: Skewness Difference (Eq. 1), averaged over features.
 class SkewnessDifference : public Measure {
  public:
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override { return "SD"; }
 };
 
 /// M7: Kurtosis Difference (Eq. 2), averaged over features.
 class KurtosisDifference : public Measure {
  public:
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override { return "KD"; }
 };
 
 /// M11: mean index-paired Euclidean distance.
 class EuclideanDistanceMeasure : public Measure {
  public:
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override { return "ED"; }
 };
 
@@ -165,7 +166,7 @@ class DtwDistanceMeasure : public Measure {
   explicit DtwDistanceMeasure(int64_t band = -1,
                               Strategy strategy = Strategy::kDependent)
       : band_(band), strategy_(strategy) {}
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override {
     return strategy_ == Strategy::kDependent ? "DTW" : "DTW(indep)";
   }
@@ -182,7 +183,7 @@ class DtwDistanceMeasure : public Measure {
 class MmdMeasure : public Measure {
  public:
   explicit MmdMeasure(double gamma = -1.0) : gamma_(gamma) {}
-  double Evaluate(const MeasureContext& ctx) const override;
+  StatusOr<double> Evaluate(const MeasureContext& ctx) const override;
   std::string name() const override { return "MMD"; }
 
  private:

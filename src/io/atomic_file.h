@@ -1,0 +1,18 @@
+#ifndef TSG_IO_ATOMIC_FILE_H_
+#define TSG_IO_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "base/status.h"
+
+namespace tsg::io {
+
+/// Writes `content` to `path` through a temp file + rename, so readers never
+/// observe a partially written artifact and a writer killed mid-write leaves any
+/// previous version of the file intact. The temp file lives next to the target
+/// (`<path>.tmp`), so the rename stays on one filesystem and is atomic on POSIX.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+}  // namespace tsg::io
+
+#endif  // TSG_IO_ATOMIC_FILE_H_

@@ -268,4 +268,11 @@ bool AllClose(const Matrix& a, const Matrix& b, double tol) {
   return true;
 }
 
+bool AllFinite(const Matrix& a) {
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace tsg::linalg

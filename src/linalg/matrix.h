@@ -120,6 +120,9 @@ Matrix RowCovariance(const Matrix& a);
 /// True when all elements differ by at most `tol`.
 bool AllClose(const Matrix& a, const Matrix& b, double tol = 1e-9);
 
+/// True when every element is finite (no NaN/Inf).
+bool AllFinite(const Matrix& a);
+
 }  // namespace tsg::linalg
 
 #endif  // TSG_LINALG_MATRIX_H_

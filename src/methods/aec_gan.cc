@@ -168,28 +168,23 @@ Status AecGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
       // Discriminator.
       std::vector<Var> fake_detached;
       for (const Var& f : fake_window) fake_detached.push_back(Detach(f));
-      d_opt.ZeroGrad();
-      Backward(BceWithLogits(nets_->Discriminate(real), ones) +
-               BceWithLogits(nets_->Discriminate(fake_detached), zeros));
-      d_opt.ClipGradNorm(5.0);
-      d_opt.Step();
+      const Var d_loss = BceWithLogits(nets_->Discriminate(real), ones) +
+                         BceWithLogits(nets_->Discriminate(fake_detached), zeros);
+      TSG_RETURN_IF_ERROR(GuardedStep(d_opt, d_loss, 5.0, {"AEC-GAN", "disc", epoch}));
 
       // Generator: adversarial + teacher-forced reconstruction of the tail (keeps
       // the autoregression anchored, mirroring AEC-GAN's correction objective).
-      g_opt.ZeroGrad();
       Var recon = MseLoss(tail[0], real[static_cast<size_t>(context_len_)]);
       for (int64_t t = 1; t < seq_len_ - context_len_; ++t) {
         recon = recon + MseLoss(tail[static_cast<size_t>(t)],
                                 real[static_cast<size_t>(context_len_ + t)]);
       }
       recon = ScalarMul(recon, 1.0 / static_cast<double>(seq_len_ - context_len_));
-      Backward(BceWithLogits(nets_->Discriminate(fake_window), ones) +
-               ScalarMul(recon, 5.0));
-      g_opt.ClipGradNorm(5.0);
-      g_opt.Step();
+      const Var g_loss = BceWithLogits(nets_->Discriminate(fake_window), ones) +
+                         ScalarMul(recon, 5.0);
+      TSG_RETURN_IF_ERROR(GuardedStep(g_opt, g_loss, 5.0, {"AEC-GAN", "gen", epoch}));
 
       // Unconditional context generator learns the prefix distribution.
-      g_opt.ZeroGrad();
       Var ctx_flat = Detach(real[0]);
       for (int64_t t = 1; t < context_len_; ++t) {
         ctx_flat = ConcatCols(ctx_flat, Detach(real[static_cast<size_t>(t)]));
@@ -198,9 +193,9 @@ Status AecGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
       // Moment matching on the prefix: mean and spread per column.
       const Var mean_loss = Mean(Square(ColMeanVar(ctx_pred) - ColMeanVar(ctx_flat)));
       const Var mse_anchor = MseLoss(ctx_pred, ctx_flat);
-      Backward(mean_loss + ScalarMul(mse_anchor, 0.2));
-      g_opt.ClipGradNorm(5.0);
-      g_opt.Step();
+      const Var ctx_loss = mean_loss + ScalarMul(mse_anchor, 0.2);
+      TSG_RETURN_IF_ERROR(
+          GuardedStep(g_opt, ctx_loss, 5.0, {"AEC-GAN", "context-gen", epoch}));
     }
   }
   return Status::Ok();

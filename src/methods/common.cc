@@ -2,8 +2,42 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 namespace tsg::methods {
+
+namespace {
+
+Status NonFinite(const StepContext& ctx, const char* what, double value) {
+  std::ostringstream os;
+  os << ctx.method << ": non-finite " << what << " (" << value << ") in "
+     << ctx.phase << " at epoch " << ctx.epoch;
+  return Status::NumericalError(os.str());
+}
+
+}  // namespace
+
+Status GuardedStep(std::initializer_list<nn::Optimizer*> opts, const Var& loss,
+                   double clip_norm, const StepContext& ctx) {
+  const double value = loss.value()(0, 0);
+  if (!std::isfinite(value)) return NonFinite(ctx, "loss", value);
+  for (nn::Optimizer* opt : opts) opt->ZeroGrad();
+  ag::Backward(loss);
+  const double max_norm =
+      clip_norm > 0 ? clip_norm : std::numeric_limits<double>::infinity();
+  for (nn::Optimizer* opt : opts) {
+    const double norm = opt->ClipGradNorm(max_norm);
+    if (!std::isfinite(norm)) return NonFinite(ctx, "gradient norm", norm);
+  }
+  for (nn::Optimizer* opt : opts) opt->Step();
+  return Status::Ok();
+}
+
+Status GuardedStep(nn::Optimizer& opt, const Var& loss, double clip_norm,
+                   const StepContext& ctx) {
+  return GuardedStep({&opt}, loss, clip_norm, ctx);
+}
 
 Var StepBatch(const Dataset& ds, const std::vector<int64_t>& idx, int64_t t) {
   const int64_t batch = static_cast<int64_t>(idx.size());

@@ -2,11 +2,14 @@
 #define TSG_METHODS_COMMON_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "ag/ops.h"
+#include "base/status.h"
 #include "core/dataset.h"
 #include "core/method.h"
+#include "nn/optimizer.h"
 
 namespace tsg::methods {
 
@@ -14,6 +17,26 @@ using ag::Var;
 using core::Dataset;
 using core::FitOptions;
 using linalg::Matrix;
+
+/// Identifies one optimizer update for error context: which method, which
+/// training phase, and the epoch (or step) index within that phase.
+struct StepContext {
+  const char* method;
+  const char* phase;
+  int epoch;
+};
+
+/// One guarded optimizer update: checks the loss is finite, backpropagates,
+/// clips the gradient (checking the pre-clip norm is finite), and steps. A
+/// non-finite loss or gradient returns kNumericalError carrying the method,
+/// phase, epoch, and offending value, so a diverged training run surfaces as a
+/// recoverable per-cell failure instead of NaN-poisoned scores or an abort.
+/// `clip_norm <= 0` skips rescaling but still checks the gradient norm (for
+/// WGAN-style loops that clip parameter values instead of gradients).
+Status GuardedStep(std::initializer_list<nn::Optimizer*> opts, const Var& loss,
+                   double clip_norm, const StepContext& ctx);
+Status GuardedStep(nn::Optimizer& opt, const Var& loss, double clip_norm,
+                   const StepContext& ctx);
 
 /// Stacks time step `t` of the samples selected by `idx` into a (batch x N) constant.
 Var StepBatch(const Dataset& ds, const std::vector<int64_t>& idx, int64_t t);

@@ -171,8 +171,6 @@ Status CosciGan::Fit(const core::Dataset& train, const core::FitOptions& options
       for (const Var& f : fake) fake_detached.push_back(Detach(f));
 
       // Channel discriminators + central discriminator.
-      d_opt.ZeroGrad();
-      c_opt.ZeroGrad();
       Var d_loss = BceWithLogits(nets_->DiscriminateCentral(real), ones) +
                    BceWithLogits(nets_->DiscriminateCentral(fake_detached), zeros);
       for (int64_t c = 0; c < num_features_; ++c) {
@@ -183,14 +181,10 @@ Status CosciGan::Fit(const core::Dataset& train, const core::FitOptions& options
                      nets_->DiscriminateChannel(c, channel_slice(fake_detached, c)),
                      zeros);
       }
-      Backward(d_loss);
-      d_opt.ClipGradNorm(5.0);
-      c_opt.ClipGradNorm(5.0);
-      d_opt.Step();
-      c_opt.Step();
+      TSG_RETURN_IF_ERROR(GuardedStep({&d_opt, &c_opt}, d_loss, 5.0,
+                                      {"COSCI-GAN", "disc", epoch}));
 
       // Generators: per-channel adversarial + gamma * central coordination.
-      g_opt.ZeroGrad();
       Var g_loss = ScalarMul(BceWithLogits(nets_->DiscriminateCentral(fake), ones),
                              kGamma);
       for (int64_t c = 0; c < num_features_; ++c) {
@@ -198,9 +192,7 @@ Status CosciGan::Fit(const core::Dataset& train, const core::FitOptions& options
                  BceWithLogits(nets_->DiscriminateChannel(c, channel_slice(fake, c)),
                                ones);
       }
-      Backward(g_loss);
-      g_opt.ClipGradNorm(5.0);
-      g_opt.Step();
+      TSG_RETURN_IF_ERROR(GuardedStep(g_opt, g_loss, 5.0, {"COSCI-GAN", "gen", epoch}));
     }
   }
   return Status::Ok();

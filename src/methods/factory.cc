@@ -1,5 +1,8 @@
 #include "methods/factory.h"
 
+#include <map>
+#include <mutex>
+
 #include "methods/aec_gan.h"
 #include "methods/cosci_gan.h"
 #include "methods/fourier_flow.h"
@@ -21,7 +24,31 @@ const std::vector<std::string>& AllMethodNames() {
   return *kNames;
 }
 
+namespace {
+
+std::mutex& RegistryMutex() {
+  static auto* kMutex = new std::mutex;
+  return *kMutex;
+}
+
+std::map<std::string, MethodFactory>& Registry() {
+  static auto* kRegistry = new std::map<std::string, MethodFactory>;
+  return *kRegistry;
+}
+
+}  // namespace
+
+void RegisterMethod(const std::string& name, MethodFactory factory) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry()[name] = std::move(factory);
+}
+
 StatusOr<std::unique_ptr<core::TsgMethod>> CreateMethod(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(name);
+    if (it != Registry().end()) return it->second();
+  }
   if (name == "RGAN") return std::unique_ptr<core::TsgMethod>(new Rgan());
   if (name == "TimeGAN") return std::unique_ptr<core::TsgMethod>(new TimeGan());
   if (name == "RTSGAN") return std::unique_ptr<core::TsgMethod>(new RtsGan());

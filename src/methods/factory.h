@@ -1,6 +1,7 @@
 #ifndef TSG_METHODS_FACTORY_H_
 #define TSG_METHODS_FACTORY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,13 @@ namespace tsg::methods {
 
 /// Display names of the ten evaluated methods (A1-A10), in the paper's order.
 const std::vector<std::string>& AllMethodNames();
+
+using MethodFactory = std::function<std::unique_ptr<core::TsgMethod>()>;
+
+/// Registers (or replaces) a custom method factory under `name`; subsequent
+/// CreateMethod calls for that name use it, shadowing any built-in. Extensions
+/// and fault-injection tests plug methods into the bench grid this way.
+void RegisterMethod(const std::string& name, MethodFactory factory);
 
 /// Instantiates a method by its display name ("RGAN", "TimeGAN", ...). Returns
 /// NotFound for unknown names.

@@ -188,10 +188,8 @@ Status FourierFlow::Fit(const core::Dataset& train, const core::FitOptions& opti
       // NLL (up to constants): mean over batch of 0.5*||z||^2 - logdet.
       const Var ones = Var::Constant(Matrix::Constant(dim, 1, 1.0));
       const Var sq = ScalarMul(MatMul(Square(z), ones), 0.5);
-      opt.ZeroGrad();
-      Backward(Mean(sq - logdet));
-      opt.ClipGradNorm(5.0);
-      opt.Step();
+      const Var nll = Mean(sq - logdet);
+      TSG_RETURN_IF_ERROR(GuardedStep(opt, nll, 5.0, {"Fourier-Flow", "nll", epoch}));
     }
   }
   return Status::Ok();

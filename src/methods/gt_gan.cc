@@ -129,15 +129,14 @@ Status GtGan::Fit(const core::Dataset& train, const core::FitOptions& options) {
       const std::vector<Var> noise = NoiseSequence(seq_len_, batch, noise_dim_, rng);
       const std::vector<Var> fake =
           nets_->Generate(Randn(batch, noise_dim_, rng), noise);
-      g_opt.ZeroGrad();
       Var loss = MseLoss(ColMeanVar(fake[0]), ColMeanVar(real[0]));
       for (int64_t t = 1; t < seq_len_; ++t) {
         loss = loss + MseLoss(ColMeanVar(fake[static_cast<size_t>(t)]),
                               ColMeanVar(real[static_cast<size_t>(t)]));
       }
-      Backward(ScalarMul(loss, 1.0 / static_cast<double>(seq_len_)));
-      g_opt.ClipGradNorm(5.0);
-      g_opt.Step();
+      const Var mle_loss = ScalarMul(loss, 1.0 / static_cast<double>(seq_len_));
+      TSG_RETURN_IF_ERROR(
+          GuardedStep(g_opt, mle_loss, 5.0, {"GT-GAN", "mle-pretrain", epoch}));
     }
   }
 
@@ -156,16 +155,12 @@ Status GtGan::Fit(const core::Dataset& train, const core::FitOptions& options) {
 
       std::vector<Var> fake_detached;
       for (const Var& f : fake) fake_detached.push_back(Detach(f));
-      d_opt.ZeroGrad();
-      Backward(BceWithLogits(nets_->Discriminate(real), ones) +
-               BceWithLogits(nets_->Discriminate(fake_detached), zeros));
-      d_opt.ClipGradNorm(5.0);
-      d_opt.Step();
+      const Var d_loss = BceWithLogits(nets_->Discriminate(real), ones) +
+                         BceWithLogits(nets_->Discriminate(fake_detached), zeros);
+      TSG_RETURN_IF_ERROR(GuardedStep(d_opt, d_loss, 5.0, {"GT-GAN", "disc", epoch}));
 
-      g_opt.ZeroGrad();
-      Backward(BceWithLogits(nets_->Discriminate(fake), ones));
-      g_opt.ClipGradNorm(5.0);
-      g_opt.Step();
+      const Var g_loss = BceWithLogits(nets_->Discriminate(fake), ones);
+      TSG_RETURN_IF_ERROR(GuardedStep(g_opt, g_loss, 5.0, {"GT-GAN", "gen", epoch}));
     }
   }
   return Status::Ok();

@@ -155,7 +155,6 @@ Status Ls4::Fit(const core::Dataset& train, const core::FitOptions& options) {
       const int64_t batch = static_cast<int64_t>(idx.size());
       const std::vector<Var> x = SequenceBatch(train, idx);
 
-      opt.ZeroGrad();
       Var mu, logvar;
       nets_->Encode(x, &mu, &logvar);
       const Var eps = Randn(batch, latent_dim_, rng);
@@ -169,9 +168,8 @@ Status Ls4::Fit(const core::Dataset& train, const core::FitOptions& options) {
       recon_loss = ScalarMul(recon_loss, 1.0 / static_cast<double>(seq_len_));
       const Var kl = ScalarMul(
           Mean(ScalarAdd(logvar, 1.0) - Square(mu) - Exp(logvar)), -0.5);
-      Backward(recon_loss + ScalarMul(kl, kKlWeight));
-      opt.ClipGradNorm(5.0);
-      opt.Step();
+      const Var elbo = recon_loss + ScalarMul(kl, kKlWeight);
+      TSG_RETURN_IF_ERROR(GuardedStep(opt, elbo, 5.0, {"LS4", "elbo", epoch}));
     }
   }
   return Status::Ok();

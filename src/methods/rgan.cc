@@ -104,23 +104,17 @@ Status Rgan::Fit(const core::Dataset& train, const core::FitOptions& options) {
       std::vector<Var> fake_detached;
       fake_detached.reserve(fake.size());
       for (const Var& f : fake) fake_detached.push_back(Detach(f));
-      d_opt.ZeroGrad();
       const Var d_loss =
           BceWithLogits(nets_->Discriminate(real),
                         Var::Constant(Matrix::Constant(batch, 1, 1.0))) +
           BceWithLogits(nets_->Discriminate(fake_detached),
                         Var::Constant(Matrix::Constant(batch, 1, 0.0)));
-      Backward(d_loss);
-      d_opt.ClipGradNorm(5.0);
-      d_opt.Step();
+      TSG_RETURN_IF_ERROR(GuardedStep(d_opt, d_loss, 5.0, {"RGAN", "disc", epoch}));
 
       // Generator step: fool the discriminator.
-      g_opt.ZeroGrad();
       const Var g_loss = BceWithLogits(
           nets_->Discriminate(fake), Var::Constant(Matrix::Constant(batch, 1, 1.0)));
-      Backward(g_loss);
-      g_opt.ClipGradNorm(5.0);
-      g_opt.Step();
+      TSG_RETURN_IF_ERROR(GuardedStep(g_opt, g_loss, 5.0, {"RGAN", "gen", epoch}));
     }
   }
   return Status::Ok();

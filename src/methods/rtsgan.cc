@@ -111,13 +111,12 @@ Status RtsGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
       const std::vector<Var> x = SequenceBatch(train, idx);
-      ae_opt.ZeroGrad();
       const std::vector<Var> recon = nets_->Decode(nets_->Encode(x), seq_len_);
       Var loss = MseLoss(recon[0], x[0]);
       for (size_t t = 1; t < x.size(); ++t) loss = loss + MseLoss(recon[t], x[t]);
-      Backward(ScalarMul(loss, 1.0 / static_cast<double>(seq_len_)));
-      ae_opt.ClipGradNorm(5.0);
-      ae_opt.Step();
+      const Var ae_loss = ScalarMul(loss, 1.0 / static_cast<double>(seq_len_));
+      TSG_RETURN_IF_ERROR(
+          GuardedStep(ae_opt, ae_loss, 5.0, {"RTSGAN", "autoencoder", epoch}));
     }
   }
 
@@ -138,18 +137,18 @@ Status RtsGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
       const Var real_latent = Detach(nets_->Encode(SequenceBatch(train, sample_idx)));
       const Var fake_latent =
           Detach(nets_->latent_gen.Forward(Randn(batch, noise_dim_, rng)));
-      c_opt.ZeroGrad();
-      // Critic maximizes E[c(real)] - E[c(fake)] -> minimize the negation.
-      Backward(Mean(nets_->critic.Forward(fake_latent)) -
-               Mean(nets_->critic.Forward(real_latent)));
-      c_opt.Step();
+      // Critic maximizes E[c(real)] - E[c(fake)] -> minimize the negation. WGAN
+      // clips parameter values, not gradients, so GuardedStep only checks the
+      // gradient norm here (clip_norm <= 0).
+      const Var c_loss = Mean(nets_->critic.Forward(fake_latent)) -
+                         Mean(nets_->critic.Forward(real_latent));
+      TSG_RETURN_IF_ERROR(
+          GuardedStep(c_opt, c_loss, /*clip_norm=*/0.0, {"RTSGAN", "critic", step}));
       nn::ClipParameterValues(critic_params, kClip);
     }
-    g_opt.ZeroGrad();
     const Var fake_latent = nets_->latent_gen.Forward(Randn(batch, noise_dim_, rng));
-    Backward(Neg(Mean(nets_->critic.Forward(fake_latent))));
-    g_opt.ClipGradNorm(5.0);
-    g_opt.Step();
+    const Var g_loss = Neg(Mean(nets_->critic.Forward(fake_latent)));
+    TSG_RETURN_IF_ERROR(GuardedStep(g_opt, g_loss, 5.0, {"RTSGAN", "gen", step}));
   }
   return Status::Ok();
 }

@@ -181,10 +181,9 @@ Status TimeGan::Fit(const core::Dataset& train, const core::FitOptions& options)
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
       const std::vector<Var> x = SequenceBatch(train, idx);
-      ae_opt.ZeroGrad();
-      Backward(SequenceMse(nets_->Recover(nets_->Embed(x)), x));
-      ae_opt.ClipGradNorm(5.0);
-      ae_opt.Step();
+      const Var ae_loss = SequenceMse(nets_->Recover(nets_->Embed(x)), x);
+      TSG_RETURN_IF_ERROR(
+          GuardedStep(ae_opt, ae_loss, 5.0, {"TimeGAN", "autoencoder", epoch}));
     }
   }
 
@@ -196,10 +195,9 @@ Status TimeGan::Fit(const core::Dataset& train, const core::FitOptions& options)
       const std::vector<Var> x = SequenceBatch(train, idx);
       std::vector<Var> h = nets_->Embed(x);
       for (Var& v : h) v = Detach(v);  // Supervisor-only phase.
-      sup_opt.ZeroGrad();
-      Backward(SupervisedLoss(*nets_, h));
-      sup_opt.ClipGradNorm(5.0);
-      sup_opt.Step();
+      const Var sup_loss = SupervisedLoss(*nets_, h);
+      TSG_RETURN_IF_ERROR(
+          GuardedStep(sup_opt, sup_loss, 5.0, {"TimeGAN", "supervised", epoch}));
     }
   }
 
@@ -220,26 +218,24 @@ Status TimeGan::Fit(const core::Dataset& train, const core::FitOptions& options)
         const std::vector<Var> h = nets_->Embed(x);
         std::vector<Var> h_detached;
         for (const Var& v : h) h_detached.push_back(Detach(v));
-        gen_opt.ZeroGrad();
         const Var adv = BceWithLogits(nets_->Discriminate(h_hat), ones);
         const Var sup = SupervisedLoss(*nets_, h_detached);
         const Var moments = MomentLoss(nets_->Recover(h_hat), x);
-        Backward(adv + ScalarMul(Sqrt(ScalarAdd(sup, 1e-8)), 10.0) +
-                 ScalarMul(moments, 1.0));
-        gen_opt.ClipGradNorm(5.0);
-        gen_opt.Step();
+        const Var g_loss = adv + ScalarMul(Sqrt(ScalarAdd(sup, 1e-8)), 10.0) +
+                           ScalarMul(moments, 1.0);
+        TSG_RETURN_IF_ERROR(
+            GuardedStep(gen_opt, g_loss, 5.0, {"TimeGAN", "joint-gen", epoch}));
       }
 
       // Embedder/recovery maintenance step (reconstruction + light supervised).
       {
-        ae_joint_opt.ZeroGrad();
         const std::vector<Var> x2 = SequenceBatch(train, idx);
         const std::vector<Var> h = nets_->Embed(x2);
         const Var recon = SequenceMse(nets_->Recover(h), x2);
         const Var sup = SupervisedLoss(*nets_, h);
-        Backward(ScalarMul(recon, 10.0) + ScalarMul(sup, 0.1));
-        ae_joint_opt.ClipGradNorm(5.0);
-        ae_joint_opt.Step();
+        const Var ae_loss = ScalarMul(recon, 10.0) + ScalarMul(sup, 0.1);
+        TSG_RETURN_IF_ERROR(
+            GuardedStep(ae_joint_opt, ae_loss, 5.0, {"TimeGAN", "joint-ae", epoch}));
       }
 
       // Discriminator step.
@@ -249,12 +245,10 @@ Status TimeGan::Fit(const core::Dataset& train, const core::FitOptions& options)
         for (Var& v : h_hat) v = Detach(v);
         std::vector<Var> h = nets_->Embed(x);
         for (Var& v : h) v = Detach(v);
-        disc_opt.ZeroGrad();
         const Var d_loss = BceWithLogits(nets_->Discriminate(h), ones) +
                            BceWithLogits(nets_->Discriminate(h_hat), zeros);
-        Backward(d_loss);
-        disc_opt.ClipGradNorm(5.0);
-        disc_opt.Step();
+        TSG_RETURN_IF_ERROR(
+            GuardedStep(disc_opt, d_loss, 5.0, {"TimeGAN", "joint-disc", epoch}));
       }
     }
   }

@@ -159,7 +159,6 @@ Status TimeVae::Fit(const core::Dataset& train, const core::FitOptions& options)
       }
       const Var x = Var::Constant(std::move(xb));
 
-      opt.ZeroGrad();
       const Var enc = nets_->encoder.Forward(x);
       const Var mu = nets_->to_mu.Forward(enc);
       const Var logvar = nets_->to_logvar.Forward(enc);
@@ -171,9 +170,8 @@ Status TimeVae::Fit(const core::Dataset& train, const core::FitOptions& options)
       // KL(q || N(0, I)) = -0.5 * mean(1 + logvar - mu^2 - exp(logvar)).
       const Var kl = ScalarMul(
           Mean(ScalarAdd(logvar, 1.0) - Square(mu) - Exp(logvar)), -0.5);
-      Backward(recon_loss + ScalarMul(kl, kKlWeight));
-      opt.ClipGradNorm(5.0);
-      opt.Step();
+      const Var elbo = recon_loss + ScalarMul(kl, kKlWeight);
+      TSG_RETURN_IF_ERROR(GuardedStep(opt, elbo, 5.0, {"TimeVAE", "elbo", epoch}));
     }
   }
   return Status::Ok();

@@ -335,11 +335,9 @@ Status TimeVqVae::Fit(const core::Dataset& train, const core::FitOptions& option
   for (int epoch = 0; epoch < epochs; ++epoch) {
     MiniBatcher batcher(count, options.batch_size, rng);
     while (batcher.Next(&idx)) {
-      opt.ZeroGrad();
-      Backward(band_loss(impl_->low, low_data, idx) +
-               band_loss(impl_->high, high_data, idx));
-      opt.ClipGradNorm(5.0);
-      opt.Step();
+      const Var loss = band_loss(impl_->low, low_data, idx) +
+                       band_loss(impl_->high, high_data, idx);
+      TSG_RETURN_IF_ERROR(GuardedStep(opt, loss, 5.0, {"TimeVQVAE", "vqvae", epoch}));
     }
   }
 

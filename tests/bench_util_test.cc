@@ -1,12 +1,28 @@
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "ag/ops.h"
 #include "bench_util.h"
+#include "methods/common.h"
+#include "methods/factory.h"
+#include "nn/optimizer.h"
 
 namespace tsg::bench {
 namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
 
 TEST(BenchConfigTest, DefaultsAndDerivedKnobs) {
   unsetenv("TSGBENCH_SCALE");
@@ -92,18 +108,151 @@ TEST(GridCacheTest, RoundTripsThroughCsv) {
   BenchConfig tiny = config;
   const std::vector<std::string> methods = {"TimeVAE"};
   const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg};
-  const auto rows = LoadOrComputeGrid(tiny, methods, datasets, /*force=*/true);
-  ASSERT_FALSE(rows.empty());
+  const auto grid = LoadOrComputeGrid(tiny, methods, datasets, /*force=*/true);
+  ASSERT_FALSE(grid.rows.empty());
+  EXPECT_TRUE(grid.failures.empty());
 
   // Second call must hit the cache and return identical values.
   const auto cached = LoadOrComputeGrid(tiny, methods, datasets, /*force=*/false);
-  ASSERT_EQ(cached.size(), rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    EXPECT_EQ(cached[i].method, rows[i].method);
-    EXPECT_EQ(cached[i].measure, rows[i].measure);
-    EXPECT_NEAR(cached[i].mean, rows[i].mean, 1e-6);
+  ASSERT_EQ(cached.rows.size(), grid.rows.size());
+  for (size_t i = 0; i < grid.rows.size(); ++i) {
+    EXPECT_EQ(cached.rows[i].method, grid.rows[i].method);
+    EXPECT_EQ(cached.rows[i].measure, grid.rows[i].measure);
+    EXPECT_NEAR(cached.rows[i].mean, grid.rows[i].mean, 1e-6);
   }
   std::filesystem::remove_all(config.out_dir);
+}
+
+// ---- Fault injection (ISSUE acceptance): a method whose training loss goes NaN
+// must surface as a per-cell error record, while every other cell of the grid
+// matches a clean run bit-for-bit. ----
+
+/// Goes through the real GuardedStep path with a NaN loss, exactly as a diverged
+/// training run would.
+class FaultyNaNMethod : public core::TsgMethod {
+ public:
+  Status Fit(const core::Dataset& train, const core::FitOptions& options) override {
+    (void)train;
+    (void)options;
+    ag::Var w = ag::Var::Parameter(linalg::Matrix(1, 1));
+    nn::Sgd opt({w}, 0.1);
+    linalg::Matrix poison(1, 1);
+    poison(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    const ag::Var loss = ag::Mul(w, ag::Var::Constant(poison));
+    return methods::GuardedStep(opt, loss, 5.0, {"FaultyNaN", "train", 3});
+  }
+  std::vector<linalg::Matrix> Generate(int64_t count, Rng& rng) const override {
+    (void)count;
+    (void)rng;
+    return {};
+  }
+  std::string name() const override { return "FaultyNaN"; }
+};
+
+TEST(GridFaultToleranceTest, NanLossBecomesCellErrorAndOtherCellsMatchCleanRun) {
+  methods::RegisterMethod("FaultyNaN",
+                          [] { return std::make_unique<FaultyNaNMethod>(); });
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg};
+
+  BenchConfig clean;
+  clean.scale = 0.2;
+  clean.out_dir = "/tmp/tsg_bench_fault_clean";
+  std::filesystem::remove_all(clean.out_dir);
+  std::filesystem::create_directories(clean.out_dir);
+  const auto clean_grid = RunGrid(clean, {"TimeVAE"}, datasets);
+  ASSERT_TRUE(clean_grid.failures.empty());
+  ASSERT_FALSE(clean_grid.rows.empty());
+
+  BenchConfig faulty = clean;
+  faulty.out_dir = "/tmp/tsg_bench_fault_injected";
+  std::filesystem::remove_all(faulty.out_dir);
+  std::filesystem::create_directories(faulty.out_dir);
+  const auto grid = RunGrid(faulty, {"TimeVAE", "FaultyNaN"}, datasets);
+
+  // The injected cell failed, with full method/phase/epoch context.
+  ASSERT_EQ(grid.failures.size(), 1u);
+  EXPECT_EQ(grid.failures[0].method, "FaultyNaN");
+  EXPECT_NE(grid.failures[0].error.find("NUMERICAL_ERROR"), std::string::npos)
+      << grid.failures[0].error;
+  EXPECT_NE(grid.failures[0].error.find("non-finite loss"), std::string::npos)
+      << grid.failures[0].error;
+  EXPECT_NE(grid.failures[0].error.find("epoch 3"), std::string::npos)
+      << grid.failures[0].error;
+
+  // Every healthy cell is bit-identical to the clean run.
+  ASSERT_EQ(grid.rows.size(), clean_grid.rows.size());
+  for (size_t i = 0; i < grid.rows.size(); ++i) {
+    EXPECT_EQ(grid.rows[i].method, clean_grid.rows[i].method);
+    EXPECT_EQ(grid.rows[i].measure, clean_grid.rows[i].measure);
+    EXPECT_EQ(std::memcmp(&grid.rows[i].mean, &clean_grid.rows[i].mean,
+                          sizeof(double)),
+              0)
+        << grid.rows[i].measure;
+    EXPECT_EQ(std::memcmp(&grid.rows[i].stddev, &clean_grid.rows[i].stddev,
+                          sizeof(double)),
+              0)
+        << grid.rows[i].measure;
+  }
+
+  // The summary artifact records both cells.
+  const std::string summary = ReadWholeFile(GridSummaryPath(faulty));
+  EXPECT_NE(summary.find("\"status\":\"error\""), std::string::npos) << summary;
+  EXPECT_NE(summary.find("\"status\":\"ok\""), std::string::npos) << summary;
+
+  std::filesystem::remove_all(clean.out_dir);
+  std::filesystem::remove_all(faulty.out_dir);
+}
+
+// ---- Kill/resume (ISSUE acceptance): a grid interrupted after some cells and
+// restarted must produce a byte-identical summary artifact, without recomputing
+// the completed cells. ----
+
+TEST(GridResumeTest, InterruptedGridResumesByteIdentical) {
+  const std::vector<std::string> methods = {"TimeVAE"};
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg,
+                                                 data::DatasetId::kStock};
+
+  BenchConfig clean;
+  clean.scale = 0.2;
+  clean.out_dir = "/tmp/tsg_bench_resume_clean";
+  std::filesystem::remove_all(clean.out_dir);
+  std::filesystem::create_directories(clean.out_dir);
+  const auto clean_grid = RunGrid(clean, methods, datasets);
+  ASSERT_TRUE(clean_grid.failures.empty());
+
+  // Simulate a run killed after completing only the first dataset's cell: the
+  // checkpoint for (TimeVAE, dlg) lands on disk, the rest never runs.
+  BenchConfig resumed = clean;
+  resumed.out_dir = "/tmp/tsg_bench_resume_killed";
+  std::filesystem::remove_all(resumed.out_dir);
+  std::filesystem::create_directories(resumed.out_dir);
+  const auto partial = RunGrid(resumed, methods, {data::DatasetId::kDlg});
+  ASSERT_TRUE(partial.failures.empty());
+  ASSERT_FALSE(partial.rows.empty());
+
+  // Restart with the full grid: the completed cell loads from its checkpoint.
+  const auto full = RunGrid(resumed, methods, datasets);
+  ASSERT_TRUE(full.failures.empty());
+  ASSERT_EQ(full.rows.size(), clean_grid.rows.size());
+
+  // The checkpointed cell was not recomputed: its wall-clock fit time survives
+  // the CSV round trip bit-for-bit (a recompute would give a new timing).
+  for (const auto& row : full.rows) {
+    if (row.dataset == partial.rows.front().dataset) {
+      EXPECT_EQ(std::memcmp(&row.fit_seconds, &partial.rows.front().fit_seconds,
+                            sizeof(double)),
+                0);
+    }
+  }
+
+  // The summary artifact is byte-identical to the uninterrupted run's.
+  const std::string clean_summary = ReadWholeFile(GridSummaryPath(clean));
+  const std::string resumed_summary = ReadWholeFile(GridSummaryPath(resumed));
+  ASSERT_FALSE(clean_summary.empty());
+  EXPECT_EQ(clean_summary, resumed_summary);
+
+  std::filesystem::remove_all(clean.out_dir);
+  std::filesystem::remove_all(resumed.out_dir);
 }
 
 }  // namespace

@@ -189,12 +189,12 @@ class IdenticalInputTest : public ::testing::Test {
 };
 
 TEST_F(IdenticalInputTest, DeterministicMeasuresAreExactlyZero) {
-  EXPECT_DOUBLE_EQ(MarginalDistributionDifference().Evaluate(ctx_), 0.0);
-  EXPECT_DOUBLE_EQ(AutocorrelationDifference().Evaluate(ctx_), 0.0);
-  EXPECT_DOUBLE_EQ(SkewnessDifference().Evaluate(ctx_), 0.0);
-  EXPECT_DOUBLE_EQ(KurtosisDifference().Evaluate(ctx_), 0.0);
-  EXPECT_DOUBLE_EQ(EuclideanDistanceMeasure().Evaluate(ctx_), 0.0);
-  EXPECT_DOUBLE_EQ(DtwDistanceMeasure().Evaluate(ctx_), 0.0);
+  EXPECT_DOUBLE_EQ(MarginalDistributionDifference().Evaluate(ctx_).value(), 0.0);
+  EXPECT_DOUBLE_EQ(AutocorrelationDifference().Evaluate(ctx_).value(), 0.0);
+  EXPECT_DOUBLE_EQ(SkewnessDifference().Evaluate(ctx_).value(), 0.0);
+  EXPECT_DOUBLE_EQ(KurtosisDifference().Evaluate(ctx_).value(), 0.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistanceMeasure().Evaluate(ctx_).value(), 0.0);
+  EXPECT_DOUBLE_EQ(DtwDistanceMeasure().Evaluate(ctx_).value(), 0.0);
 }
 
 TEST_F(IdenticalInputTest, ContextFidNearZero) {
@@ -203,13 +203,13 @@ TEST_F(IdenticalInputTest, ContextFidNearZero) {
   embed::SequenceEmbedder embedder(real_.num_features(), opts, 7);
   embedder.Fit(real_.samples());
   ctx_.embedder = &embedder;
-  EXPECT_NEAR(ContextFid().Evaluate(ctx_), 0.0, 1e-9);
+  EXPECT_NEAR(ContextFid().Evaluate(ctx_).value(), 0.0, 1e-9);
 }
 
 TEST_F(IdenticalInputTest, DiscriminativeScoreIsSmall) {
   DiscriminativeScore::Options opts;
   opts.epochs = 3;
-  EXPECT_LT(DiscriminativeScore(opts).Evaluate(ctx_), 0.3);
+  EXPECT_LT(DiscriminativeScore(opts).Evaluate(ctx_).value(), 0.3);
 }
 
 TEST(MeasureSeparationTest, ShiftedDataScoresWorse) {
@@ -226,12 +226,12 @@ TEST(MeasureSeparationTest, ShiftedDataScoresWorse) {
   good.real_test = bad.real_test = &real;
   good.generated = &real;
   bad.generated = &shifted;
-  EXPECT_GT(MarginalDistributionDifference().Evaluate(bad),
-            MarginalDistributionDifference().Evaluate(good));
-  EXPECT_GT(EuclideanDistanceMeasure().Evaluate(bad),
-            EuclideanDistanceMeasure().Evaluate(good));
-  EXPECT_GT(SkewnessDifference().Evaluate(bad) +
-                KurtosisDifference().Evaluate(bad),
+  EXPECT_GT(MarginalDistributionDifference().Evaluate(bad).value(),
+            MarginalDistributionDifference().Evaluate(good).value());
+  EXPECT_GT(EuclideanDistanceMeasure().Evaluate(bad).value(),
+            EuclideanDistanceMeasure().Evaluate(good).value());
+  EXPECT_GT(SkewnessDifference().Evaluate(bad).value() +
+                KurtosisDifference().Evaluate(bad).value(),
             1e-3);
 }
 
@@ -335,7 +335,9 @@ TEST(HarnessTest, EvaluateGeneratedProducesAllMeasures) {
   Harness harness(options);
   const Dataset real = SineDataset(40, 16, 2, 1);
   const Dataset gen = SineDataset(40, 16, 2, 2);
-  const auto scores = harness.EvaluateGenerated(real, real, gen, "sine");
+  const auto result = harness.EvaluateGenerated(real, real, gen, "sine");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& scores = result.value();
   ASSERT_EQ(scores.size(), 9u);
   for (const auto& [name, summary] : scores) {
     EXPECT_TRUE(std::isfinite(summary.mean)) << name;
@@ -352,9 +354,10 @@ TEST(HarnessTest, EmbedderIsCachedPerKey) {
   options.embedder.epochs = 1;
   Harness harness(options);
   const Dataset real = SineDataset(20, 16, 2, 1);
-  const auto& a = harness.GetEmbedder("k", real);
-  const auto& b = harness.GetEmbedder("k", real);
-  EXPECT_EQ(&a, &b);
+  const auto a = harness.GetEmbedder("k", real);
+  const auto b = harness.GetEmbedder("k", real);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
 }
 
 // ---- Visualization. ----
@@ -452,7 +455,9 @@ TEST(HarnessIntegrationTest, RunMethodEndToEnd) {
   const Dataset all = SineDataset(60, 16, 2, 21);
   const auto [train, test] = all.Split(0.9);
   BootstrapMethod method;
-  const MethodRunResult result = harness.RunMethod(method, train, test);
+  const auto run = harness.RunMethod(method, train, test);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const MethodRunResult& result = run.value();
   EXPECT_EQ(result.method, "Bootstrap");
   EXPECT_EQ(result.dataset, "sine");
   EXPECT_GE(result.fit_seconds, 0.0);
@@ -483,7 +488,8 @@ TEST(HarnessIntegrationTest, ScoresAreSeedReproducible) {
     TSG_CHECK(method.Fit(train, fit).ok());
     Rng rng(options.seed);
     Dataset generated("g", method.Generate(24, rng));
-    return harness.EvaluateGenerated(train.Head(24), test, generated, "sine");
+    return harness.EvaluateGenerated(train.Head(24), test, generated, "sine")
+        .value();
   };
   const auto a = run_once();
   const auto b = run_once();

@@ -49,10 +49,12 @@ TEST(TrtsTest, BothSchemesEvaluateFinite) {
   tstr_options.epochs = 2;
   const double trts =
       core::PredictiveScore(core::PredictiveScore::Mode::kNextStep, trts_options)
-          .Evaluate(ctx);
+          .Evaluate(ctx)
+          .value();
   const double tstr =
       core::PredictiveScore(core::PredictiveScore::Mode::kNextStep, tstr_options)
-          .Evaluate(ctx);
+          .Evaluate(ctx)
+          .value();
   EXPECT_TRUE(std::isfinite(trts));
   EXPECT_TRUE(std::isfinite(tstr));
 }
@@ -75,9 +77,9 @@ TEST(MmdMeasureTest, IdenticalNearZeroShiftedLarger) {
   // The unbiased estimator can dip slightly below zero on identical sets (the
   // cross-term keeps its diagonal); it must still sit near zero and far below the
   // shifted set's value.
-  const double same_value = mmd.Evaluate(same);
+  const double same_value = mmd.Evaluate(same).value();
   EXPECT_NEAR(same_value, 0.0, 0.05);
-  EXPECT_GT(mmd.Evaluate(diff), same_value + 0.05);
+  EXPECT_GT(mmd.Evaluate(diff).value(), same_value + 0.05);
 }
 
 // ---- PCA companion view. ----
@@ -230,7 +232,7 @@ TEST(TuneTest, PicksWorkingCandidateAndReportsTrials) {
     core::MeasureContext ctx;
     ctx.real = &reference;
     ctx.generated = &generated;
-    return core::MarginalDistributionDifference().Evaluate(ctx);
+    return core::MarginalDistributionDifference().Evaluate(ctx).value();
   };
   core::TuneOptions options;
   options.rungs = 2;

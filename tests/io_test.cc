@@ -1,9 +1,13 @@
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "io/atomic_file.h"
 #include "io/csv.h"
+#include "io/json.h"
 #include "io/table.h"
 
 namespace tsg::io {
@@ -73,6 +77,140 @@ TEST(CsvTest, RowsWriter) {
   EXPECT_EQ(line1, "name,score");
   EXPECT_EQ(line2, "TimeVAE,0.1");
   std::filesystem::remove(path);
+}
+
+TEST(CsvTest, TrailingGarbageInNumericCellFails) {
+  // "1.5abc" used to silently parse as 1.5 via std::stod.
+  const std::string path = TempPath("tsg_csv_garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "1.5abc,2.0\n";
+  }
+  auto read = ReadCsv(path, false);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  const std::string path = TempPath("tsg_csv_crlf.csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\r\n1,2\r\n3,4\r\n";
+  }
+  auto read = ReadCsv(path, /*skip_header=*/true);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().rows(), 2);
+  EXPECT_DOUBLE_EQ(read.value()(1, 1), 4.0);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, TrailingEmptyFieldIsKept) {
+  // "1,2,\n" has three fields; the last is empty, which for a numeric read is an
+  // error — it must not be silently dropped into a valid 2-column row.
+  const std::string path = TempPath("tsg_csv_trailing.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2,\n";
+  }
+  auto rows = ReadCsvRows(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  ASSERT_EQ(rows.value()[0].size(), 3u);
+  EXPECT_EQ(rows.value()[0][2], "");
+  EXPECT_FALSE(ReadCsv(path, false).ok());  // Empty cell is not a number.
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, EmptyAndHeaderOnlyFilesFail) {
+  const std::string path = TempPath("tsg_csv_empty.csv");
+  {
+    std::ofstream out(path);
+  }
+  auto empty = ReadCsv(path, /*skip_header=*/false);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path);
+    out << "a,b\n";
+  }
+  auto header_only = ReadCsv(path, /*skip_header=*/true);
+  ASSERT_FALSE(header_only.ok());
+  EXPECT_EQ(header_only.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, QuotedFieldRoundTrip) {
+  // RFC-4180: commas, quotes, and newlines inside a field survive a
+  // WriteCsvRows -> ReadCsvRows round trip.
+  const std::string path = TempPath("tsg_csv_quoted.csv");
+  const std::vector<std::vector<std::string>> rows = {
+      {"method", "error"},
+      {"TimeGAN", "fit failed: loss=nan, epoch 3"},
+      {"RGAN", "line one\nline \"two\""},
+      {"LS4", ""},
+  };
+  ASSERT_TRUE(WriteCsvRows(path, rows).ok());
+  auto read = ReadCsvRows(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), rows);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, EscapeCsvFieldQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(EscapeCsvField("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  const std::string path = TempPath("tsg_csv_unterminated.csv");
+  {
+    std::ofstream out(path);
+    out << "\"never closed,1\n";
+  }
+  EXPECT_FALSE(ReadCsvRows(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, WritesContentAndLeavesNoTempFile) {
+  const std::string path = TempPath("tsg_atomic.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\n").ok());
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(), "hello\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Overwrite is atomic too: the new content fully replaces the old.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  std::ifstream in2(path);
+  std::ostringstream os2;
+  os2 << in2.rdbuf();
+  EXPECT_EQ(os2.str(), "v2");
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, BadDirectoryFails) {
+  EXPECT_FALSE(WriteFileAtomic("/nonexistent/dir/x.txt", "x").ok());
+}
+
+TEST(JsonWriterTest, ObjectsArraysAndEscaping) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("he said \"hi\"\n");
+  json.Key("values").BeginArray().Int(1).Number(0.5).Null().EndArray();
+  json.Key("ok").Bool(true);
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"he said \\\"hi\\\"\\n\","
+            "\"values\":[1,0.5,null],\"ok\":true}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray().Number(std::nan("")).Number(1.0).EndArray();
+  EXPECT_EQ(json.str(), "[null,1]");
 }
 
 TEST(TableTest, AlignedRendering) {

@@ -65,14 +65,14 @@ double Mdd(const Dataset& real, const Dataset& generated) {
   core::MeasureContext ctx;
   ctx.real = &real;
   ctx.generated = &generated;
-  return core::MarginalDistributionDifference().Evaluate(ctx);
+  return core::MarginalDistributionDifference().Evaluate(ctx).value();
 }
 
 double Acd(const Dataset& real, const Dataset& generated) {
   core::MeasureContext ctx;
   ctx.real = &real;
   ctx.generated = &generated;
-  return core::AutocorrelationDifference().Evaluate(ctx);
+  return core::AutocorrelationDifference().Evaluate(ctx).value();
 }
 
 class QualityTest : public ::testing::TestWithParam<std::string> {};
@@ -164,7 +164,7 @@ TEST(SpecialtyTest, VaeFamilyTracksValuesClosely) {
   core::MeasureContext noise_ctx;
   noise_ctx.real = &train;
   noise_ctx.generated = &noise;
-  const double noise_ed = ed.Evaluate(noise_ctx);
+  const double noise_ed = ed.Evaluate(noise_ctx).value();
 
   // Intrinsic floor: real data paired against an independent reshuffle of itself.
   Rng shuffle_rng(99);
@@ -172,7 +172,7 @@ TEST(SpecialtyTest, VaeFamilyTracksValuesClosely) {
   core::MeasureContext floor_ctx;
   floor_ctx.real = &train;
   floor_ctx.generated = &reshuffled;
-  const double floor_ed = ed.Evaluate(floor_ctx);
+  const double floor_ed = ed.Evaluate(floor_ctx).value();
 
   for (const char* name : {"TimeVAE", "LS4"}) {
     auto method = CreateMethod(name);
@@ -184,7 +184,7 @@ TEST(SpecialtyTest, VaeFamilyTracksValuesClosely) {
     core::MeasureContext ctx;
     ctx.real = &train;
     ctx.generated = &generated;
-    const double gen_ed = ed.Evaluate(ctx);
+    const double gen_ed = ed.Evaluate(ctx).value();
     EXPECT_LT(gen_ed, noise_ed) << name;
     EXPECT_LT(gen_ed, 1.15 * floor_ed) << name;
   }

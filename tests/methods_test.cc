@@ -1,13 +1,17 @@
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
 
+#include "ag/ops.h"
 #include "core/dataset.h"
 #include "core/method.h"
 #include "data/simulators.h"
 #include "methods/aec_gan.h"
+#include "methods/common.h"
 #include "methods/factory.h"
+#include "nn/optimizer.h"
 
 namespace tsg::methods {
 namespace {
@@ -148,6 +152,75 @@ TEST(MethodQualityTest, TimeVaeBeatsNoiseOnSineData) {
     }
   }
   EXPECT_LT(gen_smooth / terms, 0.8 * noise_smooth / terms);
+}
+
+// ---- GuardedStep: the NaN/divergence guard every training loop goes through. ----
+
+TEST(GuardedStepTest, FiniteLossStepsAndReturnsOk) {
+  linalg::Matrix w0(1, 1);
+  w0(0, 0) = 2.0;
+  ag::Var w = ag::Var::Parameter(w0);
+  nn::Sgd opt({w}, 0.1);
+  const ag::Var loss = ag::Square(w);  // d/dw = 2w = 4.
+  const Status s = GuardedStep(opt, loss, 100.0, {"Test", "train", 0});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NEAR(w.value()(0, 0), 2.0 - 0.1 * 4.0, 1e-12);
+}
+
+TEST(GuardedStepTest, NanLossReturnsNumericalErrorWithContext) {
+  ag::Var w = ag::Var::Parameter(linalg::Matrix(1, 1));
+  nn::Sgd opt({w}, 0.1);
+  linalg::Matrix poison(1, 1);
+  poison(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  const ag::Var loss = ag::Mul(w, ag::Var::Constant(poison));
+  const Status s = GuardedStep(opt, loss, 5.0, {"TimeGAN", "disc", 7});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNumericalError);
+  EXPECT_NE(s.message().find("TimeGAN"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("disc"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("epoch 7"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("non-finite loss"), std::string::npos) << s.message();
+}
+
+TEST(GuardedStepTest, InfiniteGradientReturnsNumericalError) {
+  // x^0.5 at x=0 has an infinite derivative: the loss value (0) is finite but
+  // the gradient norm is not — the guard must catch it before Step poisons the
+  // params.
+  ag::Var w = ag::Var::Parameter(linalg::Matrix(1, 1));
+  nn::Sgd opt({w}, 0.1);
+  const ag::Var loss = ag::PowScalar(w, 0.5);
+  const Status s = GuardedStep(opt, loss, 5.0, {"Test", "train", 1});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNumericalError);
+  EXPECT_NE(s.message().find("gradient norm"), std::string::npos) << s.message();
+  EXPECT_EQ(w.value()(0, 0), 0.0);  // Untouched.
+}
+
+TEST(GuardedStepTest, CheckOnlyModeSkipsRescaling) {
+  // clip_norm <= 0 checks finiteness but never rescales (WGAN-style loops clip
+  // parameter values instead of gradients).
+  linalg::Matrix w0(1, 1);
+  w0(0, 0) = 3.0;
+  ag::Var w = ag::Var::Parameter(w0);
+  nn::Sgd opt({w}, 1.0);
+  const ag::Var loss = ag::ScalarMul(w, 1000.0);  // Gradient 1000 stays unclipped.
+  const Status s = GuardedStep(opt, loss, 0.0, {"Test", "critic", 0});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NEAR(w.value()(0, 0), 3.0 - 1000.0, 1e-9);
+}
+
+TEST(GuardedStepTest, TwoOptimizerOverloadStepsBoth) {
+  linalg::Matrix init(1, 1);
+  init(0, 0) = 1.0;
+  ag::Var a = ag::Var::Parameter(init);
+  ag::Var b = ag::Var::Parameter(init);
+  nn::Sgd opt_a({a}, 0.5);
+  nn::Sgd opt_b({b}, 0.5);
+  const ag::Var loss = ag::Add(ag::Square(a), ag::Square(b));
+  const Status s = GuardedStep({&opt_a, &opt_b}, loss, 100.0, {"Test", "joint", 0});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NEAR(a.value()(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(b.value()(0, 0), 0.0, 1e-12);
 }
 
 }  // namespace

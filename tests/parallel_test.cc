@@ -250,7 +250,7 @@ TEST(ParallelDeterminismTest, MeasureSuiteBitIdenticalAcrossThreadCounts) {
     options.embedder.epochs = 2;
     options.seed = 7;
     core::Harness harness(options);  // Fresh harness: embedder fit included.
-    return harness.EvaluateGenerated(real, test, generated, "sine");
+    return harness.EvaluateGenerated(real, test, generated, "sine").value();
   };
 
   const auto serial = run_suite(1);

@@ -248,6 +248,38 @@ TEST(FriedmanTest2, AllTiedGivesPValueOne) {
   EXPECT_DOUBLE_EQ(result.p_value, 1.0);
 }
 
+TEST(FriedmanTest2, AllTiedStatisticIsZeroAndFinite) {
+  const linalg::Matrix scores = {{1, 1, 1}, {2, 2, 2}, {3, 3, 3}};
+  const FriedmanResult result = FriedmanTest(scores);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  for (double r : result.average_ranks) EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(ConoverTest, AllTiedScoresGiveNoSeparation) {
+  // Every treatment identical: the Conover denominator is zero; the p-values must
+  // come out as 1 everywhere (no NaN from 0/0).
+  const linalg::Matrix scores = {{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}};
+  const FriedmanResult fr = FriedmanTest(scores);
+  const linalg::Matrix p = ConoverFriedmanPValues(fr);
+  for (int64_t i = 0; i < p.size(); ++i) {
+    EXPECT_FALSE(std::isnan(p[i])) << i;
+    EXPECT_DOUBLE_EQ(p[i], 1.0) << i;
+  }
+}
+
+TEST(ConoverTest, IdenticalRankPatternsSeparatePerfectly) {
+  // Every block ranks the treatments the same way: zero within-pattern variance.
+  // Differing rank sums are then perfectly consistent evidence (p -> 0), and the
+  // degenerate-denominator path must not divide by zero.
+  const linalg::Matrix scores = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {1, 3, 5}};
+  const FriedmanResult fr = FriedmanTest(scores);
+  const linalg::Matrix p = ConoverFriedmanPValues(fr);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(p(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+  for (int64_t i = 0; i < p.size(); ++i) EXPECT_FALSE(std::isnan(p[i])) << i;
+}
+
 TEST(ConoverTest, SeparatesExtremesNotNeighbors) {
   // Treatments 0 and 1 are close; treatment 2 is far worse.
   Rng rng(10);

@@ -134,7 +134,12 @@ int CmdRun(const Args& args) {
   options.seed = seed;
   tsg::core::Harness harness(options);
 
-  const auto result = harness.RunMethod(*method.value(), data.train, data.test);
+  const auto run = harness.RunMethod(*method.value(), data.train, data.test);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const auto& result = run.value();
   std::printf("%s on %s: fit %.1fs (%s)\n", result.method.c_str(),
               result.dataset.c_str(), result.fit_seconds,
               tsg::core::Harness::TrainingTimeBucket(result.fit_seconds));
@@ -178,8 +183,12 @@ int CmdEvaluate(const Args& args) {
   tsg::core::Harness harness(options);
   const auto scores = harness.EvaluateGenerated(real.value(), real.value(),
                                                 generated.value(), "cli");
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
   tsg::io::Table table({"Measure", "Score"});
-  for (const auto& [measure, summary] : scores) {
+  for (const auto& [measure, summary] : scores.value()) {
     table.AddRow({measure, tsg::io::Table::MeanStd(summary.mean, summary.std)});
   }
   table.Print();
