@@ -175,7 +175,8 @@ void AblationDsVariance(const tsg::bench::BenchConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   std::printf("=== Ablation benches (design choices) ===\n");
   AblationPairing(config);
@@ -183,5 +184,6 @@ int main() {
   AblationWindowLength(config);
   AblationDtwStrategy(config);
   AblationDsVariance(config);
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

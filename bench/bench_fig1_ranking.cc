@@ -11,7 +11,8 @@
 #include "io/table.h"
 #include "methods/factory.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   const auto& methods = tsg::methods::AllMethodNames();
   const auto grid =
@@ -68,5 +69,6 @@ int main() {
       "\nExpected shape (paper): no single method dominates every row, but\n"
       "TimeVQVAE, TimeVAE, COSCI-GAN, RTSGAN and LS4 carry the best (lowest)\n"
       "ranks across both panels while RGAN carries the worst.\n");
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

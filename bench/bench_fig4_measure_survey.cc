@@ -5,10 +5,12 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/taxonomy.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   using tsg::core::MeasureSurvey;
   using tsg::core::MeasureSurveyColumns;
 
@@ -33,5 +35,6 @@ int main() {
   }
   std::printf("\nDS/PS dominate prior evaluations; TSGBench is the only row covering "
               "the full suite.\n");
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

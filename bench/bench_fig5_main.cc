@@ -11,7 +11,8 @@
 #include "io/table.h"
 #include "methods/factory.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   const auto& methods = tsg::methods::AllMethodNames();
   const auto datasets = tsg::data::AllDatasets();
@@ -87,5 +88,6 @@ int main() {
       "\nExpected shape (paper): VAE-family (TimeVQVAE, TimeVAE, LS4) plus RTSGAN\n"
       "and COSCI-GAN lead; VAE methods dominate ED/DTW and train fastest;\n"
       "FourierFlow leads ACD; RGAN trails; GT-GAN is the slowest trainer.\n");
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

@@ -12,7 +12,8 @@
 #include "io/table.h"
 #include "methods/factory.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
 
   // The paper's Figure 6 shows a representative subset; we use the datasets its
@@ -66,5 +67,6 @@ int main() {
       "best cloud mixing and smallest density gaps; RGAN can match a single\n"
       "distribution (small KDE L1 on some sets) yet separates under t-SNE; methods\n"
       "struggle most on DLG's bimodal and Exchange's multi-peak marginals.\n");
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

@@ -42,7 +42,8 @@ Dataset PrepareDomain(tsg::data::DatasetId id, int domain_index,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   const BenchConfig config = tsg::bench::LoadConfig();
   // The paper's Figure 7 method selection: efficient leaders + TimeGAN baseline.
   const std::vector<std::string> method_names = {"TimeGAN", "TimeVAE", "COSCI-GAN",
@@ -146,5 +147,6 @@ int main() {
       "(poor adaptation); TimeVAE and COSCI-GAN benefit from the target history\n"
       "(cross > reference); RTSGAN and LS4 shine in single DA via fast\n"
       "convergence; SD/KD/DTW are least informative on Boiler (no periodicity).\n");
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

@@ -11,7 +11,8 @@
 #include "io/table.h"
 #include "methods/factory.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   const auto& methods = tsg::methods::AllMethodNames();
   const auto grid =
@@ -53,5 +54,6 @@ int main() {
       "{FourierFlow, AEC-GAN, TimeGAN}, then GT-GAN, with RGAN last; members\n"
       "inside the top tiers are not statistically distinguishable from each\n"
       "other but are from the lower tiers.\n");
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

@@ -10,7 +10,6 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +25,8 @@
 #include "data/simulators.h"
 #include "distance/distance.h"
 #include "embed/tsne.h"
+#include "io/atomic_file.h"
+#include "io/json.h"
 #include "linalg/decomp.h"
 #include "linalg/matrix.h"
 #include "methods/factory.h"
@@ -287,31 +288,47 @@ void WriteParallelTimings() {
        }},
   };
 
-  const std::string path = config.out_dir + "/micro_parallel.json";
-  std::ofstream out(path);
-  out << "{\n  \"hardware_concurrency\": " << hw << ",\n  \"results\": [\n";
-  for (size_t c = 0; c < cases.size(); ++c) {
-    const double t1 = MinSeconds(1, 3, cases[c].fn);
-    const double thw = MinSeconds(hw, 3, cases[c].fn);
-    out << "    {\"name\": \"" << cases[c].name << "\", \"threads\": 1, "
-        << "\"seconds\": " << t1 << "},\n"
-        << "    {\"name\": \"" << cases[c].name << "\", \"threads\": " << hw
-        << ", \"seconds\": " << thw << ", \"speedup_vs_1\": " << t1 / thw << "}"
-        << (c + 1 < cases.size() ? "," : "") << "\n";
+  tsg::io::JsonWriter json;
+  json.BeginObject();
+  json.Key("hardware_concurrency").Int(hw);
+  json.Key("results").BeginArray();
+  for (const Case& c : cases) {
+    const double t1 = MinSeconds(1, 3, c.fn);
+    const double thw = MinSeconds(hw, 3, c.fn);
+    json.BeginObject();
+    json.Key("name").String(c.name);
+    json.Key("threads").Int(1);
+    json.Key("seconds").Number(t1);
+    json.EndObject();
+    json.BeginObject();
+    json.Key("name").String(c.name);
+    json.Key("threads").Int(hw);
+    json.Key("seconds").Number(thw);
+    json.Key("speedup_vs_1").Number(t1 / thw);
+    json.EndObject();
     std::fprintf(stderr, "[micro] %-14s 1t %.4fs  %dt %.4fs  speedup %.2fx\n",
-                 cases[c].name.c_str(), t1, hw, thw, t1 / thw);
+                 c.name.c_str(), t1, hw, thw, t1 / thw);
   }
-  out << "  ]\n}\n";
-  std::fprintf(stderr, "[micro] wrote %s\n", path.c_str());
+  json.EndArray();
+  json.EndObject();
+  const std::string path = config.out_dir + "/micro_parallel.json";
+  const tsg::Status s = tsg::io::WriteFileAtomic(path, json.str() + "\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "[micro] write failed: %s\n", s.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "[micro] wrote %s\n", path.c_str());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteParallelTimings();
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

@@ -3,10 +3,12 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/taxonomy.h"
 #include "io/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   std::printf("=== Table 2: Summary of popular TSG methods ===\n\n");
   tsg::io::Table table({"Year", "Method", "Model", "Specialty", "Evaluated"});
   for (const auto& entry : tsg::core::Taxonomy()) {
@@ -16,5 +18,6 @@ int main() {
   table.Print();
   std::printf("\n%zu methods total; 10 evaluated by TSGBench.\n",
               tsg::core::Taxonomy().size());
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

@@ -8,7 +8,8 @@
 #include "io/table.h"
 #include "stats/descriptive.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   std::printf("=== Table 3: dataset statistics (scale=%.2f) ===\n\n", config.scale);
 
@@ -31,5 +32,6 @@ int main() {
   std::printf("\nSimulated R is the paper's R scaled by %.3f (clamped to >= 128);\n"
               "l and N match Table 3 exactly. TSGBENCH_SCALE=50 reproduces full R.\n",
               config.dataset_scale());
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

@@ -48,7 +48,8 @@ void RunShape(tsg::core::Harness& harness, int64_t count, int64_t l, int64_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tsg::bench::ParseBenchFlags(&argc, argv);
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   // The paper uses 10,000 series; scale it down for quick runs.
   const int64_t count =
@@ -80,5 +81,6 @@ int main() {
       "measures (DS/PS), whose post-hoc training noise keeps them nonzero; on\n"
       "RandomSampling the deterministic measures move well away from 0 while DS\n"
       "stays small with a large relative std — the paper's robustness critique.\n");
+  tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

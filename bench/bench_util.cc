@@ -7,13 +7,52 @@
 #include <set>
 #include <sstream>
 
+#include <cstring>
+
+#include "base/stopwatch.h"
 #include "base/thread_pool.h"
 #include "io/atomic_file.h"
 #include "io/csv.h"
 #include "io/json.h"
 #include "methods/factory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tsg::bench {
+
+namespace {
+
+std::string g_metrics_out;
+
+}  // namespace
+
+void ParseBenchFlags(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    constexpr const char* kPrefix = "--metrics_out=";
+    if (std::strncmp(argv[i], kPrefix, std::strlen(kPrefix)) == 0) {
+      g_metrics_out = argv[i] + std::strlen(kPrefix);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+}
+
+const std::string& MetricsOutPath() { return g_metrics_out; }
+
+void WriteMetricsSnapshot() {
+  if (g_metrics_out.empty()) return;
+  const Status s = obs::MetricRegistry::Global().WriteSnapshot(g_metrics_out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "metrics snapshot write failed: %s\n",
+                 s.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "[obs] metrics snapshot written to %s\n",
+                 g_metrics_out.c_str());
+  }
+}
 
 BenchConfig LoadConfig() {
   BenchConfig config;
@@ -269,6 +308,7 @@ void WriteGridSummary(const BenchConfig& config,
   json.EndObject();
   const Status s = io::WriteFileAtomic(GridSummaryPath(config), json.str() + "\n");
   if (!s.ok()) {
+    obs::MetricRegistry::Global().GetCounter("grid.summary_write_failures").Add();
     std::fprintf(stderr, "summary write failed: %s\n", s.ToString().c_str());
   }
 }
@@ -286,6 +326,8 @@ std::string GridSummaryPath(const BenchConfig& config) {
 GridResult RunGrid(const BenchConfig& config,
                    const std::vector<std::string>& methods,
                    const std::vector<data::DatasetId>& datasets) {
+  obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
+  obs::ScopedTimer grid_span("grid.run");
   core::HarnessOptions options;
   options.fit.epoch_scale = config.epoch_scale();
   options.fit.seed = config.seed;
@@ -321,6 +363,8 @@ GridResult RunGrid(const BenchConfig& config,
                  static_cast<long long>(resumed),
                  static_cast<long long>(num_cells), CheckpointDir(config).c_str());
   }
+  metrics.GetCounter("grid.cells.total").Add(num_cells);
+  metrics.GetCounter("grid.cells.resumed").Add(resumed);
 
   // Stage 1: simulate + preprocess each dataset that still has pending cells
   // (independent and deterministic).
@@ -333,6 +377,7 @@ GridResult RunGrid(const BenchConfig& config,
   const auto prepared = base::ParallelMap<core::Preprocessed>(
       static_cast<int64_t>(datasets.size()), 1, [&](int64_t di) {
         if (!dataset_needed[static_cast<size_t>(di)]) return core::Preprocessed();
+        const obs::ScopedTimer prepare_span("grid.prepare_dataset");
         core::Preprocessed pre =
             PrepareDataset(datasets[static_cast<size_t>(di)], config);
         std::fprintf(stderr, "[grid] dataset %s: R_train=%lld l=%lld N=%lld\n",
@@ -358,6 +403,8 @@ GridResult RunGrid(const BenchConfig& config,
         methods[static_cast<size_t>(cell % num_methods)];
     CellOutcome& outcome = outcomes[static_cast<size_t>(cell)];
 
+    const obs::ScopedTimer cell_span("grid.cell");
+    metrics.GetCounter("grid.cells.computed").Add();
     auto method = methods::CreateMethod(method_name);
     if (!method.ok()) {
       outcome.failed = true;
@@ -385,6 +432,7 @@ GridResult RunGrid(const BenchConfig& config,
     }
     const Status ckpt = WriteCellCheckpoint(config, outcome);
     if (!ckpt.ok()) {
+      metrics.GetCounter("grid.checkpoint_write_failures").Add();
       std::fprintf(stderr, "checkpoint write failed: %s\n",
                    ckpt.ToString().c_str());
     }
@@ -394,8 +442,10 @@ GridResult RunGrid(const BenchConfig& config,
   GridResult result;
   for (const CellOutcome& outcome : outcomes) {
     if (outcome.failed) {
+      metrics.GetCounter("grid.cells.failed").Add();
       result.failures.push_back(outcome.error);
     } else {
+      metrics.GetCounter("grid.cells.ok").Add();
       result.rows.insert(result.rows.end(), outcome.rows.begin(),
                          outcome.rows.end());
     }
@@ -412,12 +462,14 @@ GridResult LoadOrComputeGrid(const BenchConfig& config,
   if (!force) {
     GridResult cached;
     if (ReadCache(cache_path, &cached) && CacheCovers(cached, methods, datasets)) {
+      obs::MetricRegistry::Global().GetCounter("grid.cache_hits").Add();
       std::fprintf(stderr, "[grid] loaded %zu cached rows from %s\n",
                    cached.rows.size(), cache_path.c_str());
       return cached;
     }
   }
 
+  obs::MetricRegistry::Global().GetCounter("grid.cache_misses").Add();
   GridResult result = RunGrid(config, methods, datasets);
   WriteCache(cache_path, result);
   return result;

@@ -29,6 +29,19 @@ struct BenchConfig {
 /// Reads TSGBENCH_SCALE / TSGBENCH_SEED / TSGBENCH_OUT and ensures out_dir exists.
 BenchConfig LoadConfig();
 
+/// Strips bench-harness flags from argv before any other argument parsing (call
+/// first in main, before benchmark::Initialize for Google Benchmark binaries).
+/// Currently recognizes --metrics_out=<path>, which arms WriteMetricsSnapshot().
+void ParseBenchFlags(int* argc, char** argv);
+
+/// Path given via --metrics_out, or empty when the flag was not passed.
+const std::string& MetricsOutPath();
+
+/// Writes the process-wide obs::MetricRegistry snapshot to the --metrics_out
+/// path (atomic write). No-op without the flag. Bench mains call this last so
+/// the snapshot covers the whole run.
+void WriteMetricsSnapshot();
+
 /// One fitted-and-evaluated grid cell (long format, one row per measure) plus the
 /// training time (M8).
 struct GridRow {

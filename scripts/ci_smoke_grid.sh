@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# CI smoke test for the bench grid's fault-tolerance and observability layers:
+#
+#   1. Start a tiny 2x2 grid and kill it (hard _exit, no cleanup) after 2 fits.
+#   2. Resume: the run must load exactly the 2 checkpointed cells, finish the
+#      rest, and report grid.cells.resumed=2 in its --metrics_out snapshot.
+#   3. The resumed grid summary must be byte-identical to a clean run's.
+#   4. Two clean runs at different TSG_THREADS must produce identical metric
+#      snapshots once the wall-clock "timings" section is stripped.
+#
+# Usage: scripts/ci_smoke_grid.sh [build_dir]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/bench/bench_smoke_grid"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d /tmp/tsg_smoke_grid.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+export TSGBENCH_SCALE=0.1
+export TSGBENCH_SEED=7
+export TSG_THREADS=1   # Serial cell sweep: the kill point is deterministic.
+
+strip_timings() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+snapshot.pop("timings", None)
+with open(sys.argv[2], "w") as f:
+    json.dump(snapshot, f, sort_keys=True, indent=1)
+EOF
+}
+
+echo "== 1. interrupted run (kill after 2 fits)"
+rc=0
+TSGBENCH_OUT="$WORK/resumed" TSG_SMOKE_KILL_AFTER=2 "$BIN" || rc=$?
+if [[ "$rc" -ne 3 ]]; then
+  echo "error: kill run exited with $rc, expected the simulated-kill code 3" >&2
+  exit 1
+fi
+ckpts=$(find "$WORK/resumed" -name '*.csv' -path '*grid_ckpt_*' | wc -l)
+if [[ "$ckpts" -ne 2 ]]; then
+  echo "error: expected 2 checkpoints after the kill, found $ckpts" >&2
+  exit 1
+fi
+
+echo "== 2. resume run"
+TSGBENCH_OUT="$WORK/resumed" "$BIN" --metrics_out="$WORK/resumed/metrics.json"
+if ! grep -q '"grid.cells.resumed":2' "$WORK/resumed/metrics.json"; then
+  echo "error: metrics snapshot does not report grid.cells.resumed=2" >&2
+  grep -o '"grid[^,}]*' "$WORK/resumed/metrics.json" >&2 || true
+  exit 1
+fi
+
+echo "== 3. clean run + summary byte-compare"
+TSGBENCH_OUT="$WORK/clean1" "$BIN" --metrics_out="$WORK/clean1/metrics.json"
+cmp "$WORK/resumed"/grid_summary_*.json "$WORK/clean1"/grid_summary_*.json
+
+echo "== 4. clean run at TSG_THREADS=2 + timing-stripped metrics compare"
+TSG_THREADS=2 TSGBENCH_OUT="$WORK/clean2" "$BIN" \
+  --metrics_out="$WORK/clean2/metrics.json"
+cmp "$WORK/clean1"/grid_summary_*.json "$WORK/clean2"/grid_summary_*.json
+strip_timings "$WORK/clean1/metrics.json" "$WORK/clean1/counts.json"
+strip_timings "$WORK/clean2/metrics.json" "$WORK/clean2/counts.json"
+cmp "$WORK/clean1/counts.json" "$WORK/clean2/counts.json"
+
+echo "smoke grid OK: kill/resume byte-identical, metrics deterministic"

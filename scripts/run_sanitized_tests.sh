@@ -17,4 +17,12 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" "$@"
+
+# Propagate ctest's exit code explicitly so CI fails on test failures even if a
+# reporting step is ever appended below.
+rc=0
+ctest --preset asan-ubsan -j "$(nproc)" "$@" || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+  echo "sanitized tests FAILED (ctest exit code $rc)" >&2
+fi
+exit "$rc"

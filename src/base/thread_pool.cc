@@ -64,7 +64,25 @@ void ThreadPool::Schedule(std::function<void()> task) {
     TSG_CHECK(!shutdown_) << "Schedule on a shut-down ThreadPool";
     queue_.push_back(std::move(task));
   }
+  tasks_scheduled_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats out;
+  out.tasks_scheduled = tasks_scheduled_.load(std::memory_order_relaxed);
+  out.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  out.idle_waits = idle_waits_.load(std::memory_order_relaxed);
+  out.parallel_loops = parallel_loops_.load(std::memory_order_relaxed);
+  out.serial_loops = serial_loops_.load(std::memory_order_relaxed);
+  out.loop_chunks = loop_chunks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ThreadPool::NoteLoop(bool parallel, int64_t chunks) {
+  (parallel ? parallel_loops_ : serial_loops_)
+      .fetch_add(1, std::memory_order_relaxed);
+  loop_chunks_.fetch_add(chunks, std::memory_order_relaxed);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -72,12 +90,16 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      while (!shutdown_ && queue_.empty()) {
+        idle_waits_.fetch_add(1, std::memory_order_relaxed);
+        cv_.wait(lock);
+      }
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -133,6 +155,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   ThreadPool& pool = ThreadPool::Global();
   const int64_t parallelism = pool.max_parallelism();
   if (t_in_parallel_region || parallelism <= 1 || n <= grain) {
+    pool.NoteLoop(/*parallel=*/false, /*chunks=*/1);
     body(begin, end);
     return;
   }
@@ -144,6 +167,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   state->chunk = std::max(grain, (n + parallelism * 4 - 1) / (parallelism * 4));
   state->num_chunks = (n + state->chunk - 1) / state->chunk;
   state->body = &body;
+  pool.NoteLoop(/*parallel=*/true, state->num_chunks);
 
   const int helpers =
       static_cast<int>(std::min<int64_t>(parallelism - 1, state->num_chunks - 1));

@@ -14,6 +14,19 @@
 
 namespace tsg::base {
 
+/// Point-in-time utilization counters for a ThreadPool (all cumulative since
+/// process start). These depend on the pool width and on scheduling luck —
+/// helper tasks race the calling thread for chunks — so they are observability
+/// data, never inputs to anything that must be deterministic.
+struct ThreadPoolStats {
+  int64_t tasks_scheduled = 0;  ///< Tasks handed to Schedule().
+  int64_t tasks_executed = 0;   ///< Tasks completed by worker threads.
+  int64_t idle_waits = 0;       ///< Times a worker went to sleep on an empty queue.
+  int64_t parallel_loops = 0;   ///< ParallelFor calls fanned out to the pool.
+  int64_t serial_loops = 0;     ///< ParallelFor calls that ran inline instead.
+  int64_t loop_chunks = 0;      ///< Chunks produced across all parallel loops.
+};
+
 /// Fixed-size worker pool behind ParallelFor. The process-wide instance is created
 /// lazily on first use and sized from the TSG_THREADS environment variable when set
 /// (clamped to >= 1), otherwise std::thread::hardware_concurrency(). Callers of
@@ -44,6 +57,13 @@ class ThreadPool {
   /// for ad-hoc background work.
   void Schedule(std::function<void()> task);
 
+  /// Snapshot of the cumulative utilization counters (relaxed reads).
+  ThreadPoolStats stats() const;
+
+  /// Instrumentation hook used by ParallelFor to attribute one loop dispatch
+  /// (inline or fanned out) to this pool's stats.
+  void NoteLoop(bool parallel, int64_t chunks);
+
  private:
   void WorkerLoop();
   void EnsureWorkersLocked(int count);
@@ -55,6 +75,13 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+
+  std::atomic<int64_t> tasks_scheduled_{0};
+  std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int64_t> idle_waits_{0};
+  std::atomic<int64_t> parallel_loops_{0};
+  std::atomic<int64_t> serial_loops_{0};
+  std::atomic<int64_t> loop_chunks_{0};
 };
 
 /// True while the calling thread is executing a ParallelFor body. Nested parallel

@@ -6,6 +6,8 @@
 
 #include "base/stopwatch.h"
 #include "base/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tsg::core {
 
@@ -78,12 +80,18 @@ Harness::EvaluateGenerated(const Dataset& real, const Dataset& real_test,
           local.seed = options_.seed + 1000003ULL * static_cast<uint64_t>(r + 1);
           const StatusOr<double> v = measure.Evaluate(local);
           if (!v.ok()) {
+            obs::MetricRegistry::Global()
+                .GetCounter("measure." + measure.name() + ".failures")
+                .Add();
             return MeasureOutcome{
                 Status(v.status().code(),
                        measure.name() + ": " + v.status().message()),
                 {}};
           }
           if (!std::isfinite(v.value())) {
+            obs::MetricRegistry::Global()
+                .GetCounter("measure." + measure.name() + ".nonfinite")
+                .Add();
             return MeasureOutcome{
                 Status::NumericalError(measure.name() +
                                        " produced a non-finite value"),
@@ -113,6 +121,9 @@ Harness::EvaluateGenerated(const Dataset& real, const Dataset& real_test,
 StatusOr<MethodRunResult> Harness::RunMethod(TsgMethod& method,
                                              const Dataset& train,
                                              const Dataset& test) {
+  obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
+  obs::ScopedTimer cell_span("harness.run_method");
+  metrics.GetCounter("harness.cells.started").Add();
   MethodRunResult result;
   result.method = method.name();
   result.dataset = train.name();
@@ -122,28 +133,42 @@ StatusOr<MethodRunResult> Harness::RunMethod(TsgMethod& method,
     std::fprintf(stderr, "[%s] fitting...\n", cell.c_str());
   }
   Stopwatch watch;
-  const Status fit_status = method.Fit(train, options_.fit);
-  result.fit_seconds = watch.ElapsedSeconds();
-  if (!fit_status.ok()) {
-    return Status(fit_status.code(),
-                  cell + ": fit failed: " + fit_status.message());
+  {
+    obs::ScopedTimer fit_span("fit");
+    const Status fit_status = method.Fit(train, options_.fit);
+    result.fit_seconds = watch.ElapsedSeconds();
+    metrics.RecordTimer("harness.fit_seconds." + result.method,
+                        result.fit_seconds);
+    if (!fit_status.ok()) {
+      metrics.GetCounter("harness.errors.fit").Add();
+      return Status(fit_status.code(),
+                    cell + ": fit failed: " + fit_status.message());
+    }
   }
 
   const int64_t count = std::min(options_.max_eval_samples, train.num_samples());
   Rng gen_rng(options_.seed ^ 0x6E4E12A7);
+  Stopwatch generate_watch;
+  obs::ScopedTimer generate_span("generate");
   Dataset generated(result.method + "@" + result.dataset,
                     method.Generate(count, gen_rng));
+  metrics.RecordTimer("harness.generate_seconds." + result.method,
+                      generate_watch.ElapsedSeconds());
   if (generated.num_samples() != count ||
       generated.seq_len() != train.seq_len() ||
       generated.num_features() != train.num_features()) {
+    metrics.GetCounter("harness.errors.generate_malformed").Add();
     return Status::Internal(cell + ": Generate returned a malformed sample set");
   }
   const Dataset reference = train.Head(count);
+  obs::ScopedTimer evaluate_span("evaluate");
   auto scores = EvaluateGenerated(reference, test, generated, result.dataset);
   if (!scores.ok()) {
+    metrics.GetCounter("harness.errors.evaluate").Add();
     return Status(scores.status().code(), cell + ": " + scores.status().message());
   }
   result.scores = std::move(scores).value();
+  metrics.GetCounter("harness.cells.ok").Add();
   return result;
 }
 

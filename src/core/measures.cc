@@ -10,6 +10,8 @@
 #include "nn/dense.h"
 #include "nn/optimizer.h"
 #include "nn/rnn.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "signal/acf.h"
 #include "stats/descriptive.h"
 #include "stats/histogram.h"
@@ -31,6 +33,27 @@ Var StepBatch(const std::vector<const Matrix*>& samples,
   }
   return Var::Constant(std::move(out));
 }
+
+/// Per-measure observability, declared first in every Evaluate: a trace span
+/// plus an evaluation counter and a wall-time histogram under
+/// "measure.<name>" — the per-measure cost breakdown behind the paper's §6.3
+/// efficiency analysis.
+class MeasureSpan {
+ public:
+  explicit MeasureSpan(const Measure& measure)
+      : name_("measure." + measure.name()), span_(name_) {}
+  ~MeasureSpan() {
+    obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
+    metrics.GetCounter(name_ + ".evaluations").Add();
+    metrics.RecordTimer(name_ + ".seconds", span_.ElapsedSeconds());
+  }
+  MeasureSpan(const MeasureSpan&) = delete;
+  MeasureSpan& operator=(const MeasureSpan&) = delete;
+
+ private:
+  std::string name_;
+  obs::ScopedTimer span_;
+};
 
 std::vector<const Matrix*> Pointers(const Dataset& ds, int64_t cap) {
   std::vector<const Matrix*> out;
@@ -62,6 +85,7 @@ Status ValidateContext(const MeasureContext& ctx) {
 }  // namespace
 
 StatusOr<double> DiscriminativeScore::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   Rng rng(ctx.seed ^ 0xD15C);
   const int64_t per_class = std::min({options_.max_samples_per_class,
@@ -131,6 +155,7 @@ StatusOr<double> DiscriminativeScore::Evaluate(const MeasureContext& ctx) const 
 }
 
 StatusOr<double> PredictiveScore::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   Rng rng(ctx.seed ^ 0x9595);
   const int64_t n = ctx.real->num_features();
@@ -224,6 +249,7 @@ StatusOr<double> PredictiveScore::Evaluate(const MeasureContext& ctx) const {
 }
 
 StatusOr<double> ContextFid::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   if (ctx.embedder == nullptr) {
     return Status::FailedPrecondition("C-FID requires a fitted embedder");
@@ -237,6 +263,7 @@ StatusOr<double> ContextFid::Evaluate(const MeasureContext& ctx) const {
 }
 
 StatusOr<double> MarginalDistributionDifference::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t n = ctx.real->num_features();
   const int64_t l = ctx.real->seq_len();
@@ -256,6 +283,7 @@ StatusOr<double> MarginalDistributionDifference::Evaluate(const MeasureContext& 
 }
 
 StatusOr<double> AutocorrelationDifference::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t n = ctx.real->num_features();
   const int64_t l = ctx.real->seq_len();
@@ -290,6 +318,7 @@ StatusOr<double> AutocorrelationDifference::Evaluate(const MeasureContext& ctx) 
 }
 
 StatusOr<double> SkewnessDifference::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t n = ctx.real->num_features();
   const double total = base::ParallelSum(n, 1, [&](int64_t j) {
@@ -301,6 +330,7 @@ StatusOr<double> SkewnessDifference::Evaluate(const MeasureContext& ctx) const {
 }
 
 StatusOr<double> KurtosisDifference::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t n = ctx.real->num_features();
   const double total = base::ParallelSum(n, 1, [&](int64_t j) {
@@ -312,6 +342,7 @@ StatusOr<double> KurtosisDifference::Evaluate(const MeasureContext& ctx) const {
 }
 
 StatusOr<double> EuclideanDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t pairs =
       std::min(ctx.real->num_samples(), ctx.generated->num_samples());
@@ -323,6 +354,7 @@ StatusOr<double> EuclideanDistanceMeasure::Evaluate(const MeasureContext& ctx) c
 }
 
 StatusOr<double> DtwDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t pairs =
       std::min(ctx.real->num_samples(), ctx.generated->num_samples());
@@ -338,6 +370,7 @@ StatusOr<double> DtwDistanceMeasure::Evaluate(const MeasureContext& ctx) const {
 }
 
 StatusOr<double> MmdMeasure::Evaluate(const MeasureContext& ctx) const {
+  const MeasureSpan span(*this);
   TSG_RETURN_IF_ERROR(ValidateContext(ctx));
   const int64_t cap = 256;
   const Matrix real_flat = ctx.real->Head(cap).Flatten();

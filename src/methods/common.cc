@@ -5,6 +5,9 @@
 #include <limits>
 #include <sstream>
 
+#include "base/stopwatch.h"
+#include "obs/metrics.h"
+
 namespace tsg::methods {
 
 namespace {
@@ -16,21 +19,47 @@ Status NonFinite(const StepContext& ctx, const char* what, double value) {
   return Status::NumericalError(os.str());
 }
 
+/// Metric-name prefix for one (method, phase) training loop, e.g.
+/// "train.TimeGAN.joint". Every method reports under the same scheme because
+/// GuardedStep is the single choke point for optimizer updates.
+std::string StepPrefix(const StepContext& ctx) {
+  return std::string("train.") + ctx.method + "." + ctx.phase;
+}
+
 }  // namespace
 
 Status GuardedStep(std::initializer_list<nn::Optimizer*> opts, const Var& loss,
                    double clip_norm, const StepContext& ctx) {
+  obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
+  const std::string prefix = StepPrefix(ctx);
+  const Stopwatch watch;
   const double value = loss.value()(0, 0);
-  if (!std::isfinite(value)) return NonFinite(ctx, "loss", value);
+  if (!std::isfinite(value)) {
+    metrics.GetCounter(prefix + ".nonfinite_loss").Add();
+    return NonFinite(ctx, "loss", value);
+  }
   for (nn::Optimizer* opt : opts) opt->ZeroGrad();
   ag::Backward(loss);
   const double max_norm =
       clip_norm > 0 ? clip_norm : std::numeric_limits<double>::infinity();
+  double worst_norm = 0.0;
   for (nn::Optimizer* opt : opts) {
     const double norm = opt->ClipGradNorm(max_norm);
-    if (!std::isfinite(norm)) return NonFinite(ctx, "gradient norm", norm);
+    if (!std::isfinite(norm)) {
+      metrics.GetCounter(prefix + ".nonfinite_grad").Add();
+      return NonFinite(ctx, "gradient norm", norm);
+    }
+    worst_norm = std::max(worst_norm, norm);
   }
   for (nn::Optimizer* opt : opts) opt->Step();
+  // Per-step telemetry: loss and pre-clip gradient norm are deterministic data
+  // (snapshot "counts" section); the step time is wall clock ("timings"). The
+  // epoch gauge tracks training progress for a live reader of the registry.
+  metrics.GetCounter(prefix + ".steps").Add();
+  metrics.GetHistogram(prefix + ".loss").Record(value);
+  metrics.GetHistogram(prefix + ".grad_norm").Record(worst_norm);
+  metrics.GetGauge(prefix + ".epoch").Set(static_cast<double>(ctx.epoch));
+  metrics.RecordTimer(prefix + ".step_seconds", watch.ElapsedSeconds());
   return Status::Ok();
 }
 

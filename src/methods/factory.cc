@@ -44,11 +44,16 @@ void RegisterMethod(const std::string& name, MethodFactory factory) {
 }
 
 StatusOr<std::unique_ptr<core::TsgMethod>> CreateMethod(const std::string& name) {
+  // Copy the factory out of the lock before invoking it: a factory may itself
+  // call CreateMethod (wrapper methods delegating to a built-in), which would
+  // self-deadlock on the non-recursive registry mutex.
+  MethodFactory factory;
   {
     std::lock_guard<std::mutex> lock(RegistryMutex());
     auto it = Registry().find(name);
-    if (it != Registry().end()) return it->second();
+    if (it != Registry().end()) factory = it->second;
   }
+  if (factory) return factory();
   if (name == "RGAN") return std::unique_ptr<core::TsgMethod>(new Rgan());
   if (name == "TimeGAN") return std::unique_ptr<core::TsgMethod>(new TimeGan());
   if (name == "RTSGAN") return std::unique_ptr<core::TsgMethod>(new RtsGan());

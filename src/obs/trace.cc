@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace tsg::obs {
+
+namespace {
+
+/// Innermost live ScopedTimer of this thread (nullptr at top level). Pool worker
+/// threads start at nullptr for every task, so cross-thread spans attach to the
+/// root rather than to whichever span happened to schedule them.
+thread_local TraceNode* t_current_span = nullptr;
+
+}  // namespace
+
+TraceNode& TraceNode::GetOrCreateChild(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = children_.find(name);
+  if (it == children_.end()) {
+    it = children_.emplace(name, std::make_unique<TraceNode>(name)).first;
+  }
+  return *it->second;
+}
+
+void TraceNode::Record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  total_seconds_ += seconds;
+}
+
+int64_t TraceNode::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double TraceNode::total_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_seconds_;
+}
+
+std::vector<const TraceNode*> TraceNode::children() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const TraceNode*> out;
+  out.reserve(children_.size());
+  for (const auto& [name, child] : children_) out.push_back(child.get());
+  return out;
+}
+
+void TraceNode::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  total_seconds_ = 0.0;
+  children_.clear();
+}
+
+namespace {
+
+void FlattenInto(const TraceNode& node, const std::string& prefix,
+                 std::vector<std::pair<std::string, int64_t>>* out) {
+  for (const TraceNode* child : node.children()) {
+    const std::string path =
+        prefix.empty() ? child->name() : prefix + "/" + child->name();
+    out->push_back({path, child->count()});
+    FlattenInto(*child, path, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, int64_t>> FlattenTrace(const TraceNode& root) {
+  std::vector<std::pair<std::string, int64_t>> out;
+  FlattenInto(root, "", &out);
+  return out;
+}
+
+ScopedTimer::ScopedTimer(const std::string& name) {
+  Enter(name, MetricRegistry::Global().trace_root());
+}
+
+ScopedTimer::ScopedTimer(const std::string& name, TraceNode& root) {
+  Enter(name, root);
+}
+
+void ScopedTimer::Enter(const std::string& name, TraceNode& root) {
+  saved_parent_ = t_current_span;
+  TraceNode& parent = saved_parent_ != nullptr ? *saved_parent_ : root;
+  node_ = &parent.GetOrCreateChild(name);
+  t_current_span = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+double ScopedTimer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  node_->Record(ElapsedSeconds());
+  t_current_span = saved_parent_;
+}
+
+}  // namespace tsg::obs

@@ -1,0 +1,85 @@
+#ifndef TSG_OBS_TRACE_H_
+#define TSG_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsg::obs {
+
+/// One aggregated node of the trace tree: every ScopedTimer span with the same
+/// name under the same parent folds into one node (count + total wall time),
+/// so the tree stays bounded no matter how many times a span runs. Children are
+/// keyed by name in sorted order, which makes the *shape* of the tree (paths and
+/// counts) deterministic for a fixed workload even though the timings are not.
+class TraceNode {
+ public:
+  explicit TraceNode(std::string name) : name_(std::move(name)) {}
+  TraceNode(const TraceNode&) = delete;
+  TraceNode& operator=(const TraceNode&) = delete;
+
+  /// Finds or creates the child span node with this name. Thread-safe; the
+  /// returned reference stays valid for the life of the parent.
+  TraceNode& GetOrCreateChild(const std::string& name);
+
+  /// Folds one completed span occurrence into the node.
+  void Record(double seconds);
+
+  const std::string& name() const { return name_; }
+  int64_t count() const;
+  double total_seconds() const;
+
+  /// Children in name order. The pointers stay valid; new children appearing
+  /// concurrently are simply missed by an in-flight listing.
+  std::vector<const TraceNode*> children() const;
+
+  /// Drops all children and zeroes the aggregates (registry Reset only — not
+  /// safe concurrently with running spans).
+  void Clear();
+
+ private:
+  const std::string name_;
+  mutable std::mutex mu_;
+  int64_t count_ = 0;
+  double total_seconds_ = 0.0;
+  std::map<std::string, std::unique_ptr<TraceNode>> children_;
+};
+
+/// Flattens a trace tree into ("a/b/c", count) rows sorted by path — the
+/// deterministic probe tests compare, with all wall-clock values dropped.
+std::vector<std::pair<std::string, int64_t>> FlattenTrace(const TraceNode& root);
+
+/// RAII span: on construction becomes the current span of this thread (child of
+/// the enclosing ScopedTimer, or of the registry root when the thread has none),
+/// on destruction records its wall time into the trace tree and restores the
+/// parent. Nesting therefore builds a parent/child tree per thread of control;
+/// a task that hops to a pool worker starts a fresh stack under the root there.
+class ScopedTimer {
+ public:
+  /// Spans against MetricRegistry::Global()'s trace tree.
+  explicit ScopedTimer(const std::string& name);
+  /// Spans against an explicit tree root (isolated registries, tests).
+  ScopedTimer(const std::string& name, TraceNode& root);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far (the span keeps running).
+  double ElapsedSeconds() const;
+
+ private:
+  void Enter(const std::string& name, TraceNode& root);
+
+  TraceNode* node_ = nullptr;
+  TraceNode* saved_parent_ = nullptr;  ///< Thread-local current span to restore.
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tsg::obs
+
+#endif  // TSG_OBS_TRACE_H_
