@@ -5,7 +5,9 @@
 //
 // In addition to the gbench suite, main() times the three parallelized hot paths
 // (GEMM, per-pair DTW, the full measure suite) at 1 thread and at hardware
-// concurrency, and writes the timings to <out_dir>/micro_parallel.json.
+// concurrency and writes the timings to <out_dir>/micro_parallel.json, then times
+// the kernel layer against its pre-kernel baselines (naive GEMM, scalar backend)
+// and writes per-kernel GFLOP/s to <out_dir>/micro_kernels.json.
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +29,7 @@
 #include "embed/tsne.h"
 #include "io/atomic_file.h"
 #include "io/json.h"
+#include "kernels/kernels.h"
 #include "linalg/decomp.h"
 #include "linalg/matrix.h"
 #include "methods/factory.h"
@@ -63,6 +66,24 @@ Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
   return m;
 }
 
+/// The pre-kernel-layer GEMM inner loop (the PR 1 linalg::MatMul body, run
+/// serially): the baseline the kernel layer's >= 2x GFLOP/s criterion is
+/// measured against in micro_kernels.json.
+void NaiveGemmBaseline(const Matrix& a, const Matrix& b, Matrix* out) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  out->SetZero();
+  for (int64_t i = 0; i < m; ++i) {
+    double* out_row = out->data() + i * n;
+    const double* a_row = a.data() + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const double aip = a_row[p];
+      if (aip == 0.0) continue;
+      const double* b_row = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+    }
+  }
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   const Matrix a = RandomMatrix(n, n, 1);
@@ -73,6 +94,35 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmKernel(benchmark::State& state) {
+  ScopedParallelism scoped(1);
+  const int64_t n = state.range(0);
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    out.SetZero();
+    tsg::kernels::Gemm(n, n, n, a.data(), n, b.data(), n, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(tsg::kernels::BackendName());
+}
+BENCHMARK(BM_GemmKernel)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    NaiveGemmBaseline(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_SymmetricEigen(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -320,6 +370,100 @@ void WriteParallelTimings() {
   }
 }
 
+/// Times each kernel against its pre-kernel-layer baseline at 1 thread and
+/// writes <out_dir>/micro_kernels.json: per-shape GEMM GFLOP/s for the naive
+/// loop, the scalar kernel backend, and the active backend (the scalar-vs-SIMD
+/// comparison), plus dot/sqdist throughput. `speedup_vs_naive` on the GEMM rows
+/// is the ISSUE acceptance number (>= 2x on at least one shape).
+void WriteKernelTimings() {
+  namespace kernels = tsg::kernels;
+  const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
+
+  tsg::io::JsonWriter json;
+  json.BeginObject();
+  json.Key("simd_enabled").Bool(kernels::SimdEnabled());
+  json.Key("backend").String(kernels::BackendName());
+
+  json.Key("gemm").BeginArray();
+  for (const int64_t n : {int64_t{64}, int64_t{128}, int64_t{256}, int64_t{384}}) {
+    const Matrix a = RandomMatrix(n, n, 400 + n);
+    const Matrix b = RandomMatrix(n, n, 500 + n);
+    Matrix out(n, n);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const double t_naive = MinSeconds(1, 5, [&] {
+      NaiveGemmBaseline(a, b, &out);
+      benchmark::DoNotOptimize(out.data());
+    });
+    const double t_scalar = MinSeconds(1, 5, [&] {
+      out.SetZero();
+      kernels::scalar::Gemm(n, n, n, a.data(), n, b.data(), n, out.data(), n);
+      benchmark::DoNotOptimize(out.data());
+    });
+    const double t_active = MinSeconds(1, 5, [&] {
+      out.SetZero();
+      kernels::Gemm(n, n, n, a.data(), n, b.data(), n, out.data(), n);
+      benchmark::DoNotOptimize(out.data());
+    });
+    json.BeginObject();
+    json.Key("shape").Int(static_cast<int>(n));
+    json.Key("naive_gflops").Number(flops / t_naive / 1e9);
+    json.Key("scalar_kernel_gflops").Number(flops / t_scalar / 1e9);
+    json.Key("active_kernel_gflops").Number(flops / t_active / 1e9);
+    json.Key("speedup_vs_naive").Number(t_naive / t_active);
+    json.Key("simd_speedup_vs_scalar_kernel").Number(t_scalar / t_active);
+    json.EndObject();
+    std::fprintf(stderr,
+                 "[micro] gemm_%-4lld naive %6.2f  scalar %6.2f  %s %6.2f GFLOP/s"
+                 "  (%.2fx vs naive)\n",
+                 static_cast<long long>(n), flops / t_naive / 1e9,
+                 flops / t_scalar / 1e9, kernels::BackendName(),
+                 flops / t_active / 1e9, t_naive / t_active);
+  }
+  json.EndArray();
+
+  // Streaming primitives: repeat the call enough times per sample to be
+  // measurable at microsecond resolution.
+  const int64_t kVecLen = 4096;
+  const int kVecReps = 2048;
+  const Matrix va = RandomMatrix(1, kVecLen, 600);
+  const Matrix vb = RandomMatrix(1, kVecLen, 601);
+  json.Key("primitives").BeginArray();
+  {
+    const double t = MinSeconds(1, 5, [&] {
+      double s = 0.0;
+      for (int r = 0; r < kVecReps; ++r)
+        s += kernels::Dot(va.data(), vb.data(), kVecLen);
+      benchmark::DoNotOptimize(s);
+    });
+    json.BeginObject();
+    json.Key("name").String("dot_4096");
+    json.Key("gflops").Number(2.0 * kVecLen * kVecReps / t / 1e9);
+    json.EndObject();
+  }
+  {
+    const double t = MinSeconds(1, 5, [&] {
+      double s = 0.0;
+      for (int r = 0; r < kVecReps; ++r)
+        s += kernels::SquaredDistance(va.data(), vb.data(), kVecLen);
+      benchmark::DoNotOptimize(s);
+    });
+    json.BeginObject();
+    json.Key("name").String("sqdist_4096");
+    json.Key("gflops").Number(3.0 * kVecLen * kVecReps / t / 1e9);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  const std::string path = config.out_dir + "/micro_kernels.json";
+  const tsg::Status s = tsg::io::WriteFileAtomic(path, json.str() + "\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "[micro] write failed: %s\n", s.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "[micro] wrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -329,6 +473,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteParallelTimings();
+  WriteKernelTimings();
   tsg::bench::WriteMetricsSnapshot();
   return 0;
 }

@@ -82,6 +82,8 @@ Var Div(const Var& a, const Var& b) {
   });
 }
 
+// Forward and both gradient products route through linalg::MatMul* and hence the
+// vectorized kernel layer — every nn training step inherits it with no ag changes.
 Var MatMul(const Var& a, const Var& b) {
   return MakeOp(linalg::MatMul(a.value(), b.value()), {a, b}, [a, b](const Matrix& g) {
     if (a.requires_grad()) Accumulate(a, linalg::MatMulTransB(g, b.value()));

@@ -1,0 +1,59 @@
+#ifndef TSG_BASE_ALIGNED_H_
+#define TSG_BASE_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace tsg::base {
+
+/// Cache-line-aligned (64-byte) uninitialized scratch buffer for kernel packing
+/// panels and other hot-loop workspaces. The alignment covers every vector width
+/// the kernel layer may use (16/32/64-byte SIMD registers) and keeps panels from
+/// straddling cache lines. Elements are *not* value-initialized — callers fill the
+/// buffer before reading it. Move-only; not thread-safe (each thread packs into its
+/// own buffer, see DESIGN.md §6).
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t count)
+      : size_(count),
+        data_(count == 0 ? nullptr
+                         : static_cast<T*>(::operator new(
+                               count * sizeof(T), std::align_val_t{kAlignment}))) {}
+  ~AlignedBuffer() { Release(); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : size_(std::exchange(other.size_, 0)),
+        data_(std::exchange(other.data_, nullptr)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      size_ = std::exchange(other.size_, 0);
+      data_ = std::exchange(other.data_, nullptr);
+    }
+    return *this;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  void Release() {
+    if (data_ != nullptr) ::operator delete(data_, std::align_val_t{kAlignment});
+    data_ = nullptr;
+  }
+
+  size_t size_ = 0;
+  T* data_ = nullptr;
+};
+
+}  // namespace tsg::base
+
+#endif  // TSG_BASE_ALIGNED_H_

@@ -32,6 +32,8 @@ struct HarnessOptions {
   int verbosity = 0;
 };
 
+/// One completed (method, dataset) cell: fit wall time (M8) plus the aggregated
+/// measure scores in suite order.
 struct MethodRunResult {
   std::string method;
   std::string dataset;
@@ -40,6 +42,11 @@ struct MethodRunResult {
   std::vector<std::pair<std::string, stats::MeanStd>> scores;
 };
 
+/// Runs the evaluation protocol. One instance owns the measure suite and an
+/// embedder cache; all public methods are safe to call concurrently (the cache
+/// is mutex-guarded, the suite is immutable after construction). Every failure
+/// is reported as a recoverable Status so grid drivers can log the cell and
+/// move on.
 class Harness {
  public:
   explicit Harness(HarnessOptions options);
@@ -49,7 +56,9 @@ class Harness {
   /// held-out 10% used by the TSTR measures. Returns a non-OK Status (annotated
   /// with method and dataset) when the fit diverges, the generated output is
   /// malformed or non-finite, or a measure fails — the caller records the cell as
-  /// failed and continues, rather than aborting a whole grid.
+  /// failed and continues, rather than aborting a whole grid. Safe to call
+  /// concurrently on one harness, provided each call gets its own TsgMethod
+  /// instance (Fit mutates the method).
   StatusOr<MethodRunResult> RunMethod(TsgMethod& method, const Dataset& train,
                                       const Dataset& test);
 
@@ -71,6 +80,7 @@ class Harness {
   StatusOr<const embed::SequenceEmbedder*> GetEmbedder(const std::string& key,
                                                        const Dataset& reference);
 
+  /// The options this harness was built with (immutable after construction).
   const HarnessOptions& options() const { return options_; }
 
   /// Buckets a training time into the paper's four Figure 5 segments:

@@ -36,7 +36,14 @@ class Measure {
   Measure(const Measure&) = delete;
   Measure& operator=(const Measure&) = delete;
 
+  /// Computes the score for one (real, generated) pair. Const and stateless
+  /// between calls: one instance may be evaluated concurrently from several
+  /// threads (the harness runs the suite in parallel). Returns a non-OK Status —
+  /// never crashes — on malformed input (shape mismatch, empty sets, non-finite
+  /// data) or internal failure, so a bench grid can record the cell and continue.
   virtual StatusOr<double> Evaluate(const MeasureContext& ctx) const = 0;
+
+  /// Stable short name used in reports and artifact columns ("DS", "C-FID", ...).
   virtual std::string name() const = 0;
 
   /// True for the TSTR model-based measures whose value depends on post-hoc network

@@ -27,7 +27,9 @@ struct FitOptions {
 
 /// Interface every TSG method (A1-A10) implements. The lifecycle is
 /// Fit(train) -> Generate(count): generation must be usable repeatedly and
-/// independently after a single Fit.
+/// independently after a single Fit. Instances are not thread-safe during Fit;
+/// after Fit returns, Generate is const and may run concurrently as long as each
+/// caller passes its own Rng.
 class TsgMethod {
  public:
   virtual ~TsgMethod() = default;
@@ -35,10 +37,15 @@ class TsgMethod {
   TsgMethod(const TsgMethod&) = delete;
   TsgMethod& operator=(const TsgMethod&) = delete;
 
-  /// Trains the generative model on `train` ((R, l, N) in [0,1]).
+  /// Trains the generative model on `train` ((R, l, N) in [0,1]). Returns a
+  /// non-OK Status when training diverges (NaN/Inf loss or gradient, via the
+  /// GuardedStep guard) or the input is unusable; the model is then not fit and
+  /// Generate must not be called.
   virtual Status Fit(const Dataset& train, const FitOptions& options) = 0;
 
-  /// Samples `count` synthetic series of the fitted shape (l x N).
+  /// Samples `count` synthetic series of the fitted shape (l x N). All
+  /// randomness comes from `rng`, so a fixed (fit, seed) pair reproduces the
+  /// samples bit-identically.
   virtual std::vector<Matrix> Generate(int64_t count, Rng& rng) const = 0;
 
   /// Stable display name ("TimeGAN", "TimeVAE", ...).

@@ -7,6 +7,7 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "kernels/kernels.h"
 #include "linalg/decomp.h"
 
 namespace tsg::distance {
@@ -51,12 +52,7 @@ double Dtw1D(const double* a, int64_t la, int64_t stride_a, const double* b,
 
 double EuclideanDistance(const Matrix& a, const Matrix& b) {
   TSG_CHECK(a.SameShape(b));
-  double s = 0.0;
-  for (int64_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+  return std::sqrt(kernels::SquaredDistance(a.data(), b.data(), a.size()));
 }
 
 double DtwDistance(const Matrix& a, const Matrix& b, int64_t band) {
@@ -78,12 +74,8 @@ double DtwDistance(const Matrix& a, const Matrix& b, int64_t band) {
     const int64_t j_hi = std::min<int64_t>(lb, i + band);
     const double* a_row = a.data() + (i - 1) * dims;
     for (int64_t j = j_lo; j <= j_hi; ++j) {
-      const double* b_row = b.data() + (j - 1) * dims;
-      double cost = 0.0;
-      for (int64_t d = 0; d < dims; ++d) {
-        const double diff = a_row[d] - b_row[d];
-        cost += diff * diff;
-      }
+      const double cost =
+          kernels::SquaredDistance(a_row, b.data() + (j - 1) * dims, dims);
       const double best = std::min({prev[static_cast<size_t>(j)],
                                     prev[static_cast<size_t>(j - 1)],
                                     cur[static_cast<size_t>(j - 1)]});
@@ -154,12 +146,7 @@ double RbfMmd(const Matrix& a, const Matrix& b, double gamma) {
   TSG_CHECK(n >= 2 && m >= 2);
 
   auto sq_dist = [d](const double* x, const double* y) {
-    double s = 0.0;
-    for (int64_t k = 0; k < d; ++k) {
-      const double diff = x[k] - y[k];
-      s += diff * diff;
-    }
-    return s;
+    return kernels::SquaredDistance(x, y, d);
   };
 
   if (gamma <= 0.0) {

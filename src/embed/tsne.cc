@@ -7,6 +7,7 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "kernels/kernels.h"
 #include "linalg/decomp.h"
 
 namespace tsg::embed {
@@ -26,13 +27,7 @@ Matrix PairwiseSquaredDistances(const Matrix& x) {
     for (int64_t i = row0; i < row1; ++i) {
       const double* xi = x.data() + i * d;
       for (int64_t j = i + 1; j < n; ++j) {
-        const double* xj = x.data() + j * d;
-        double s = 0.0;
-        for (int64_t k = 0; k < d; ++k) {
-          const double diff = xi[k] - xj[k];
-          s += diff * diff;
-        }
-        dist(i, j) = s;
+        dist(i, j) = kernels::SquaredDistance(xi, x.data() + j * d, d);
       }
     }
   });

@@ -1,0 +1,264 @@
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/aligned.h"
+#include "base/thread_pool.h"
+
+namespace tsg::kernels {
+
+namespace {
+
+/// Micro-kernel register tile: kMr rows x kNr columns (kNr = two vector
+/// registers), eight live accumulators — small enough to stay in registers on
+/// every 16-register target, wide enough to amortize the A broadcasts.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 2 * kLanes;
+/// Depth block: one packed B panel of kKc x kNr doubles (16 KiB) stays
+/// L1-resident across a whole row sweep.
+constexpr int64_t kKc = 256;
+/// Multiply-add count below which a GEMM is not worth forking for (matches the
+/// pre-kernel linalg threshold: ~64^3 stays inline on the calling thread).
+constexpr int64_t kGrainFlops = int64_t{1} << 18;
+/// Below this, packing costs more than it saves: run the unpacked streaming
+/// loop. Depends only on (m, n, k), so both backends and all thread counts make
+/// the same choice.
+constexpr int64_t kSmallFlops = int64_t{1} << 16;
+
+/// Element (logical row i, depth p) of A or, when kTransA, of A^T read in place.
+template <bool kTransA>
+inline double AElem(const double* a, int64_t lda, int64_t i, int64_t p) {
+  return kTransA ? a[p * lda + i] : a[i * lda + p];
+}
+
+/// Unpacked streaming GEMM for small shapes: i-p-j loops with a vectorized axpy
+/// over j. Each C element accumulates one product per ascending p — the same
+/// per-element order as the packed path and the reference block.
+template <typename V, bool kTransA>
+void GemmSmall(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+               const double* b, int64_t ldb, double* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    double* c_row = c + i * ldc;
+    for (int64_t p = 0; p < k; ++p) {
+      const double aip = AElem<kTransA>(a, lda, i, p);
+      const double* b_row = b + p * ldb;
+      const V va = V::Splat(aip);
+      int64_t j = 0;
+      for (; j + kLanes <= n; j += kLanes) {
+        V acc = V::Load(c_row + j);
+        acc.FmaAccum(va, V::Load(b_row + j));
+        acc.Store(c_row + j);
+      }
+      for (; j < n; ++j) c_row[j] += aip * b_row[j];
+    }
+  }
+}
+
+/// Scalar reference block shared by both backends: handles the row tail
+/// (m % kMr) and column tail (n % kNr) around the micro-kernel. Ascending-p
+/// per-element accumulation keeps its values interchangeable with the
+/// micro-kernel's, element for element.
+template <bool kTransA>
+void GemmRefBlock(const double* a, int64_t lda, const double* b, int64_t ldb,
+                  double* c, int64_t ldc, int64_t i0, int64_t i1, int64_t j0,
+                  int64_t j1, int64_t pc, int64_t kc) {
+  for (int64_t i = i0; i < i1; ++i) {
+    double* c_row = c + i * ldc;
+    for (int64_t p = pc; p < pc + kc; ++p) {
+      const double aip = AElem<kTransA>(a, lda, i, p);
+      const double* b_row = b + p * ldb;
+      for (int64_t j = j0; j < j1; ++j) c_row[j] += aip * b_row[j];
+    }
+  }
+}
+
+/// Packs the (kc x kMr) A micro-panel for rows [i0, i0 + kMr) into p-major
+/// order: dst[p * kMr + r] = A(i0 + r, pc + p). Loop order follows the source
+/// layout (rows for plain A, depth for A^T) so reads stay contiguous.
+template <bool kTransA>
+void PackA(const double* a, int64_t lda, int64_t i0, int64_t pc, int64_t kc,
+           double* dst) {
+  if constexpr (kTransA) {
+    for (int64_t p = 0; p < kc; ++p) {
+      const double* src = a + (pc + p) * lda + i0;
+      std::memcpy(dst + p * kMr, src, kMr * sizeof(double));
+    }
+  } else {
+    for (int64_t r = 0; r < kMr; ++r) {
+      const double* src = a + (i0 + r) * lda + pc;
+      for (int64_t p = 0; p < kc; ++p) dst[p * kMr + r] = src[p];
+    }
+  }
+}
+
+/// Packs B rows [pc, pc + kc) for the full column panels [0, n_main) into
+/// panel-major order: panel jp/kNr holds kc rows of kNr contiguous doubles.
+void PackB(const double* b, int64_t ldb, int64_t pc, int64_t kc, int64_t n_main,
+           double* dst) {
+  for (int64_t jp = 0; jp < n_main; jp += kNr) {
+    double* panel = dst + jp * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      std::memcpy(panel + p * kNr, b + (pc + p) * ldb + jp, kNr * sizeof(double));
+    }
+  }
+}
+
+/// The FMA micro-kernel: C[0..kMr)[0..kNr) += Apanel * Bpanel over kc depth
+/// steps, entirely in registers. Per element: one fused multiply-add per
+/// ascending p — the canonical GEMM accumulation order.
+template <typename V>
+void MicroKernel(const double* a_pack, const double* b_pack, int64_t kc,
+                 double* c, int64_t ldc) {
+  V acc00 = V::Load(c);
+  V acc01 = V::Load(c + kLanes);
+  V acc10 = V::Load(c + ldc);
+  V acc11 = V::Load(c + ldc + kLanes);
+  V acc20 = V::Load(c + 2 * ldc);
+  V acc21 = V::Load(c + 2 * ldc + kLanes);
+  V acc30 = V::Load(c + 3 * ldc);
+  V acc31 = V::Load(c + 3 * ldc + kLanes);
+  for (int64_t p = 0; p < kc; ++p) {
+    const V b0 = V::Load(b_pack + p * kNr);
+    const V b1 = V::Load(b_pack + p * kNr + kLanes);
+    const double* ap = a_pack + p * kMr;
+    V va = V::Splat(ap[0]);
+    acc00.FmaAccum(va, b0);
+    acc01.FmaAccum(va, b1);
+    va = V::Splat(ap[1]);
+    acc10.FmaAccum(va, b0);
+    acc11.FmaAccum(va, b1);
+    va = V::Splat(ap[2]);
+    acc20.FmaAccum(va, b0);
+    acc21.FmaAccum(va, b1);
+    va = V::Splat(ap[3]);
+    acc30.FmaAccum(va, b0);
+    acc31.FmaAccum(va, b1);
+  }
+  acc00.Store(c);
+  acc01.Store(c + kLanes);
+  acc10.Store(c + ldc);
+  acc11.Store(c + ldc + kLanes);
+  acc20.Store(c + 2 * ldc);
+  acc21.Store(c + 2 * ldc + kLanes);
+  acc30.Store(c + 3 * ldc);
+  acc31.Store(c + 3 * ldc + kLanes);
+}
+
+/// Blocked + packed GEMM driver (C += A * B, or A^T * B when kTransA). Depth is
+/// processed in ascending kKc blocks; each block packs one shared B slab, then
+/// row tiles of kMr rows fan out over the pool (each task packs its own A
+/// micro-panels). Every C element is owned by exactly one task per block and
+/// folds its products in ascending p order, so the result is bit-identical for
+/// any thread count and identical between the SIMD and scalar backends.
+template <typename V, bool kTransA>
+void GemmDriver(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+                const double* b, int64_t ldb, double* c, int64_t ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m * n * k < kSmallFlops) {
+    GemmSmall<V, kTransA>(m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  const int64_t m_main = m - m % kMr;
+  const int64_t n_main = n - n % kNr;
+  const int64_t tiles = m_main / kMr;
+  for (int64_t pc = 0; pc < k; pc += kKc) {
+    const int64_t kc = std::min(kKc, k - pc);
+    base::AlignedBuffer<double> b_pack(static_cast<size_t>(kc * n_main));
+    PackB(b, ldb, pc, kc, n_main, b_pack.data());
+    const int64_t tile_flops = kMr * n * kc;
+    const int64_t grain =
+        std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, tile_flops));
+    base::ParallelFor(0, tiles, grain, [&](int64_t t0, int64_t t1) {
+      base::AlignedBuffer<double> a_pack(static_cast<size_t>(kc * kMr));
+      for (int64_t t = t0; t < t1; ++t) {
+        const int64_t i0 = t * kMr;
+        PackA<kTransA>(a, lda, i0, pc, kc, a_pack.data());
+        for (int64_t jp = 0; jp < n_main; jp += kNr) {
+          MicroKernel<V>(a_pack.data(), b_pack.data() + jp * kc, kc,
+                         c + i0 * ldc + jp, ldc);
+        }
+        if (n_main < n) {
+          GemmRefBlock<kTransA>(a, lda, b, ldb, c, ldc, i0, i0 + kMr, n_main, n,
+                                pc, kc);
+        }
+      }
+    });
+    if (m_main < m) {
+      GemmRefBlock<kTransA>(a, lda, b, ldb, c, ldc, m_main, m, 0, n, pc, kc);
+    }
+  }
+}
+
+/// C += A * B^T driver: each C element is one row-row dot product in the
+/// canonical lane-split Dot order; rows fan out over the pool.
+template <typename V>
+void GemmTransBDriver(int64_t m, int64_t n, int64_t k, const double* a,
+                      int64_t lda, const double* b, int64_t ldb, double* c,
+                      int64_t ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const int64_t row_flops = n * k;
+  const int64_t grain =
+      std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, row_flops));
+  base::ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const double* a_row = a + i * lda;
+      double* c_row = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += detail::DotImpl<V>(a_row, b + j * ldb, k);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+bool SimdEnabled() { return TSG_KERNELS_SIMD != 0; }
+
+bool GemmUsesFma() {
+#if defined(__FMA__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* BackendName() { return TSG_KERNELS_SIMD ? "simd-v4" : "scalar-v4"; }
+
+namespace scalar {
+
+void Gemm(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+          const double* b, int64_t ldb, double* c, int64_t ldc) {
+  GemmDriver<detail::VecScalar, false>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+void GemmTransA(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+                const double* b, int64_t ldb, double* c, int64_t ldc) {
+  GemmDriver<detail::VecScalar, true>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+void GemmTransB(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+                const double* b, int64_t ldb, double* c, int64_t ldc) {
+  GemmTransBDriver<detail::VecScalar>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+}  // namespace scalar
+
+#if TSG_KERNELS_SIMD
+namespace simd {
+
+void Gemm(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+          const double* b, int64_t ldb, double* c, int64_t ldc) {
+  GemmDriver<detail::VecSimd, false>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+void GemmTransA(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+                const double* b, int64_t ldb, double* c, int64_t ldc) {
+  GemmDriver<detail::VecSimd, true>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+void GemmTransB(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+                const double* b, int64_t ldb, double* c, int64_t ldc) {
+  GemmTransBDriver<detail::VecSimd>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+}  // namespace simd
+#endif  // TSG_KERNELS_SIMD
+
+}  // namespace tsg::kernels

@@ -4,21 +4,9 @@
 #include <cmath>
 #include <sstream>
 
-#include "base/thread_pool.h"
+#include "kernels/kernels.h"
 
 namespace tsg::linalg {
-
-namespace {
-
-/// Multiply-add count below which a matmul row panel is not worth forking for;
-/// grains are sized so matrices smaller than ~64^3 run serially inline.
-constexpr int64_t kGemmGrainFlops = int64_t{1} << 18;
-
-int64_t GemmRowGrain(int64_t flops_per_row) {
-  return std::max<int64_t>(1, kGemmGrainFlops / std::max<int64_t>(1, flops_per_row));
-}
-
-}  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = static_cast<int64_t>(rows.size());
@@ -141,30 +129,18 @@ std::string Matrix::DebugString(int64_t max_rows, int64_t max_cols) const {
   return os.str();
 }
 
-// The MatMul* family shares one scheme: the output is partitioned into row panels
-// dispatched through ParallelFor (serial inline below ~64^3 multiply-adds), and
-// every output element accumulates its k-products in ascending order inside exactly
-// one panel — so results are bit-identical for any thread count, and identical to
-// the original serial kernels.
+// The MatMul* family delegates to the kernel layer (kernels::Gemm*): packed,
+// register-tiled, vectorized, and threaded internally. Matrix construction
+// zero-fills the output, which the accumulating (C += A*B) kernels rely on.
+// The kernels' ordering contract keeps results bit-identical for any thread
+// count and between SIMD and scalar builds — see DESIGN.md §6.
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   TSG_CHECK_EQ(a.cols(), b.rows()) << "matmul " << a.rows() << "x" << a.cols() << " * "
                                    << b.rows() << "x" << b.cols();
   Matrix out(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows of b and out.
-  base::ParallelFor(0, m, GemmRowGrain(k * n), [&](int64_t row0, int64_t row1) {
-    for (int64_t i = row0; i < row1; ++i) {
-      double* out_row = out.data() + i * n;
-      const double* a_row = a.data() + i * k;
-      for (int64_t p = 0; p < k; ++p) {
-        const double aip = a_row[p];
-        if (aip == 0.0) continue;
-        const double* b_row = b.data() + p * n;
-        for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
-      }
-    }
-  });
+  kernels::Gemm(m, n, k, a.data(), k, b.data(), n, out.data(), n);
   return out;
 }
 
@@ -172,24 +148,8 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   TSG_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
-  // Transpose-aware: a is read down column i (stride m) without materializing a^T.
-  // k is processed in blocks so the touched rows of b stay cache-resident across the
-  // panel's output rows; ascending blocks preserve the per-element p order.
-  constexpr int64_t kBlockK = 64;
-  base::ParallelFor(0, m, GemmRowGrain(k * n), [&](int64_t row0, int64_t row1) {
-    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const int64_t p1 = std::min(k, p0 + kBlockK);
-      for (int64_t i = row0; i < row1; ++i) {
-        double* out_row = out.data() + i * n;
-        for (int64_t p = p0; p < p1; ++p) {
-          const double aip = a.data()[p * m + i];
-          if (aip == 0.0) continue;
-          const double* b_row = b.data() + p * n;
-          for (int64_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
-        }
-      }
-    }
-  });
+  // a is read down column i (stride m) inside the kernel — a^T is never built.
+  kernels::GemmTransA(m, n, k, a.data(), m, b.data(), n, out.data(), n);
   return out;
 }
 
@@ -197,17 +157,7 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   TSG_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  base::ParallelFor(0, m, GemmRowGrain(k * n), [&](int64_t row0, int64_t row1) {
-    for (int64_t i = row0; i < row1; ++i) {
-      const double* a_row = a.data() + i * k;
-      for (int64_t j = 0; j < n; ++j) {
-        const double* b_row = b.data() + j * k;
-        double s = 0.0;
-        for (int64_t p = 0; p < k; ++p) s += a_row[p] * b_row[p];
-        out(i, j) = s;
-      }
-    }
-  });
+  kernels::GemmTransB(m, n, k, a.data(), k, b.data(), k, out.data(), n);
   return out;
 }
 

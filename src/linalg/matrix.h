@@ -12,8 +12,9 @@ namespace tsg::linalg {
 
 /// Dense row-major matrix of doubles. This is the single numeric container shared by
 /// the autodiff engine, the neural-network layers, and the evaluation measures. The
-/// benchmark's tensors are small (batch x hidden on the order of 128 x 128), so the
-/// implementation favours clarity and cache-friendly loops over vendor BLAS.
+/// benchmark's tensors are small (batch x hidden on the order of 128 x 128); the
+/// multiply paths delegate to the in-repo kernel layer (src/kernels) rather than a
+/// vendor BLAS so the determinism contract stays under our control.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -98,11 +99,14 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// out = a * b. Shapes must agree; result is (a.rows x b.cols).
+/// out = a * b. Shapes must agree; result is (a.rows x b.cols). Backed by
+/// kernels::Gemm: vectorized, threaded above ~64^3 multiply-adds, bit-identical
+/// across thread counts and between SIMD and scalar builds (DESIGN.md §6).
 Matrix MatMul(const Matrix& a, const Matrix& b);
-/// out = a^T * b without materializing the transpose.
+/// out = a^T * b without materializing the transpose; bit-identical to
+/// MatMul(a.Transpose(), b).
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
-/// out = a * b^T without materializing the transpose.
+/// out = a * b^T without materializing the transpose (row-row dot products).
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
 
 Matrix operator+(const Matrix& a, const Matrix& b);

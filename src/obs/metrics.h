@@ -22,8 +22,12 @@ class AtomicDouble {
  public:
   explicit AtomicDouble(double init = 0.0);
 
+  /// Current value (relaxed load).
   double value() const;
+  /// Unconditional overwrite; last writer wins under concurrency.
   void Store(double v);
+  /// Atomic `+= delta`. The floating-point total depends on the interleaving,
+  /// so Add-built values are exported with the timings, not the counts.
   void Add(double delta);
   /// Lowers (raises) the cell to v when v is smaller (larger) than the current
   /// value. The final result is order-independent — the same for any thread
@@ -73,6 +77,7 @@ class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
 
+  /// Folds one observation in. Thread-safe and lock-free.
   void Record(double v);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -86,6 +91,8 @@ class Histogram {
   double min() const { return min_.value(); }
   double max() const { return max_.value(); }
   double sum() const { return sum_.value(); }
+  /// Count of recorded values whose magnitude falls in bucket i (see class
+  /// comment for the bucket boundaries).
   int64_t bucket(int i) const;
 
   /// Bucket index for a finite value (see class comment).

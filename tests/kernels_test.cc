@@ -1,0 +1,229 @@
+// Tests for the kernel layer (src/kernels): exactness against naive references
+// on edge shapes, bit-identity between the active and scalar backends, and
+// bit-identity across thread counts — the two determinism guarantees DESIGN.md
+// §6 promises.
+#include "kernels/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/aligned.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace tsg {
+namespace {
+
+/// Forces the global pool to `n`-way execution for the duration of a scope.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int n) {
+    base::ThreadPool::Global().SetMaxParallelism(n);
+  }
+  ~ScopedParallelism() { base::ThreadPool::Global().SetMaxParallelism(0); }
+};
+
+std::vector<double> RandomVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.Normal();
+  return v;
+}
+
+/// Naive C += A*B (or A^T*B) with a single accumulator per element in ascending
+/// p order — the exact order the kernel contract promises, so comparisons
+/// against Gemm/GemmTransA are bitwise, not approximate. Each accumulation uses
+/// the rounding the compiled drivers use: std::fma when the kernels TU was
+/// built with FMA contraction, separate multiply-then-add otherwise.
+void NaiveGemm(bool trans_a, int64_t m, int64_t n, int64_t k, const double* a,
+               const double* b, double* c) {
+  const bool fused = tsg::kernels::GemmUsesFma();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double s = c[i * n + j];
+      for (int64_t p = 0; p < k; ++p) {
+        const double aip = trans_a ? a[p * m + i] : a[i * k + p];
+        s = fused ? std::fma(aip, b[p * n + j], s) : s + aip * b[p * n + j];
+      }
+      c[i * n + j] = s;
+    }
+  }
+}
+
+bool BitEqual(const std::vector<double>& x, const std::vector<double>& y) {
+  return x.size() == y.size() &&
+         (x.empty() ||
+          std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0);
+}
+
+struct Shape {
+  int64_t m, n, k;
+};
+
+// Edge shapes: single rows/columns, odd tails in every dimension, exact
+// micro-tile multiples, and shapes big enough to cross the packed-path and
+// fork thresholds.
+const Shape kShapes[] = {{1, 1, 1},    {1, 17, 1},  {17, 1, 3},   {3, 5, 4},
+                         {4, 8, 16},   {5, 9, 7},   {8, 16, 300}, {13, 29, 31},
+                         {65, 33, 129}, {96, 80, 70}};
+
+TEST(KernelsGemmTest, MatchesNaiveAscendingOrderBitwise) {
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(s.m * s.k, 1);
+    const auto b = RandomVec(s.k * s.n, 2);
+    const auto c0 = RandomVec(s.m * s.n, 3);  // Nonzero C exercises +=.
+    auto want = c0;
+    NaiveGemm(false, s.m, s.n, s.k, a.data(), b.data(), want.data());
+    auto got = c0;
+    kernels::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, got.data(), s.n);
+    EXPECT_TRUE(BitEqual(want, got)) << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST(KernelsGemmTest, TransAMatchesNaiveBitwise) {
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(s.k * s.m, 4);  // a is k x m, read as A^T.
+    const auto b = RandomVec(s.k * s.n, 5);
+    const auto c0 = RandomVec(s.m * s.n, 6);
+    auto want = c0;
+    NaiveGemm(true, s.m, s.n, s.k, a.data(), b.data(), want.data());
+    auto got = c0;
+    kernels::GemmTransA(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, got.data(),
+                        s.n);
+    EXPECT_TRUE(BitEqual(want, got)) << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST(KernelsGemmTest, TransBCloseToNaiveAndBitwiseEqualToScalarBackend) {
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(s.m * s.k, 7);
+    const auto bt = RandomVec(s.n * s.k, 8);  // b is n x k, read as B^T.
+    // TransB uses the lane-split dot order, so the naive comparison is
+    // tolerance-based; the scalar-backend comparison is bitwise.
+    std::vector<double> naive(static_cast<size_t>(s.m * s.n), 0.0);
+    for (int64_t i = 0; i < s.m; ++i) {
+      for (int64_t j = 0; j < s.n; ++j) {
+        double acc = 0.0;
+        for (int64_t p = 0; p < s.k; ++p) acc += a[i * s.k + p] * bt[j * s.k + p];
+        naive[static_cast<size_t>(i * s.n + j)] = acc;
+      }
+    }
+    std::vector<double> got(static_cast<size_t>(s.m * s.n), 0.0);
+    kernels::GemmTransB(s.m, s.n, s.k, a.data(), s.k, bt.data(), s.k, got.data(),
+                        s.n);
+    for (size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], naive[i], 1e-12);
+    std::vector<double> scalar_out(static_cast<size_t>(s.m * s.n), 0.0);
+    kernels::scalar::GemmTransB(s.m, s.n, s.k, a.data(), s.k, bt.data(), s.k,
+                                scalar_out.data(), s.n);
+    EXPECT_TRUE(BitEqual(scalar_out, got));
+  }
+}
+
+TEST(KernelsGemmTest, ActiveBackendBitwiseEqualToScalarBackend) {
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(s.m * s.k, 9);
+    const auto b = RandomVec(s.k * s.n, 10);
+    std::vector<double> c_active(static_cast<size_t>(s.m * s.n), 0.0);
+    std::vector<double> c_scalar = c_active;
+    kernels::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c_active.data(),
+                  s.n);
+    kernels::scalar::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                          c_scalar.data(), s.n);
+    EXPECT_TRUE(BitEqual(c_scalar, c_active)) << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST(KernelsGemmTest, EmptyDimensionsLeaveCUntouched) {
+  const auto c0 = RandomVec(12, 11);
+  auto c = c0;
+  const double dummy = 0.0;
+  kernels::Gemm(0, 3, 4, &dummy, 4, &dummy, 3, c.data(), 3);
+  kernels::Gemm(4, 0, 3, &dummy, 3, &dummy, 0, c.data(), 0);
+  kernels::Gemm(3, 4, 0, &dummy, 0, &dummy, 4, c.data(), 4);
+  kernels::GemmTransA(3, 4, 0, &dummy, 3, &dummy, 4, c.data(), 4);
+  kernels::GemmTransB(3, 0, 4, &dummy, 4, &dummy, 4, c.data(), 0);
+  EXPECT_TRUE(BitEqual(c0, c));
+}
+
+TEST(KernelsGemmTest, BitIdenticalAcrossThreadCounts) {
+  // Odd shape, large enough that the packed path forks row tiles.
+  const Shape s{193, 161, 131};
+  const auto a = RandomVec(s.m * s.k, 12);
+  const auto b = RandomVec(s.k * s.n, 13);
+  std::vector<double> serial(static_cast<size_t>(s.m * s.n), 0.0);
+  {
+    ScopedParallelism scoped(1);
+    kernels::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, serial.data(),
+                  s.n);
+  }
+  std::vector<double> wide(static_cast<size_t>(s.m * s.n), 0.0);
+  {
+    ScopedParallelism scoped(4);
+    kernels::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, wide.data(), s.n);
+  }
+  EXPECT_TRUE(BitEqual(serial, wide));
+}
+
+TEST(KernelsPrimitivesTest, DotAndSquaredDistanceTailsMatchScalarBitwise) {
+  for (int64_t n = 0; n <= 9; ++n) {
+    const auto a = RandomVec(n, 14);
+    const auto b = RandomVec(n, 15);
+    EXPECT_EQ(kernels::Dot(a.data(), b.data(), n),
+              kernels::scalar::Dot(a.data(), b.data(), n));
+    EXPECT_EQ(kernels::SquaredDistance(a.data(), b.data(), n),
+              kernels::scalar::SquaredDistance(a.data(), b.data(), n));
+    // Tolerance sanity against the plain left-to-right reference.
+    double dot = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      dot += a[static_cast<size_t>(i)] * b[static_cast<size_t>(i)];
+      const double d = a[static_cast<size_t>(i)] - b[static_cast<size_t>(i)];
+      sq += d * d;
+    }
+    EXPECT_NEAR(kernels::Dot(a.data(), b.data(), n), dot, 1e-12);
+    EXPECT_NEAR(kernels::SquaredDistance(a.data(), b.data(), n), sq, 1e-12);
+  }
+}
+
+TEST(KernelsPrimitivesTest, SquaredDistanceOfIdenticalInputsIsExactlyZero) {
+  const auto a = RandomVec(1003, 16);
+  EXPECT_EQ(kernels::SquaredDistance(a.data(), a.data(), 1003), 0.0);
+}
+
+TEST(KernelsPrimitivesTest, AxpyMatchesElementwiseReferenceBitwise) {
+  for (int64_t n : {0, 1, 3, 4, 5, 8, 13, 100}) {
+    const auto x = RandomVec(n, 17);
+    const auto y0 = RandomVec(n, 18);
+    auto want = y0;
+    for (int64_t i = 0; i < n; ++i)
+      want[static_cast<size_t>(i)] += 1.7 * x[static_cast<size_t>(i)];
+    auto got = y0;
+    kernels::Axpy(n, 1.7, x.data(), got.data());
+    EXPECT_TRUE(BitEqual(want, got)) << n;
+  }
+}
+
+TEST(KernelsBackendTest, BackendNameMatchesSimdEnabled) {
+  EXPECT_STREQ(kernels::BackendName(),
+               kernels::SimdEnabled() ? "simd-v4" : "scalar-v4");
+}
+
+TEST(AlignedBufferTest, DataIsCacheLineAlignedAndMoveTransfersOwnership) {
+  base::AlignedBuffer<double> buf(37);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) %
+                base::AlignedBuffer<double>::kAlignment,
+            0u);
+  EXPECT_EQ(buf.size(), 37u);
+  double* p = buf.data();
+  base::AlignedBuffer<double> moved = std::move(buf);
+  EXPECT_EQ(moved.data(), p);
+  EXPECT_EQ(buf.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  base::AlignedBuffer<double> empty(0);
+  EXPECT_EQ(empty.data(), nullptr);
+}
+
+}  // namespace
+}  // namespace tsg
