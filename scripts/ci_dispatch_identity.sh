@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# CI check for the runtime CPU dispatch determinism contract (DESIGN.md §6):
+# the counts section of a metrics snapshot — and the grid summary itself —
+# must be byte-identical whichever kernel backend TSG_CPU_DISPATCH selects
+# and whatever TSG_THREADS is set to. Only the wall-clock "timings" section
+# may differ.
+#
+#   1. Reference run: TSG_CPU_DISPATCH=auto, TSG_THREADS=1.
+#   2. Forced-scalar run: same seed/scale, TSG_CPU_DISPATCH=scalar.
+#   3. Forced-SIMD run at TSG_THREADS=2 (skipped with a note when the build
+#      has no SIMD backend; Resolve() then falls back to scalar anyway).
+#   All grid summaries and timing-stripped snapshots must compare equal.
+#
+# Usage: scripts/ci_dispatch_identity.sh [build_dir]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/bench/bench_smoke_grid"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d /tmp/tsg_dispatch_identity.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+export TSGBENCH_SCALE=0.1
+export TSGBENCH_SEED=7
+
+strip_timings() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+snapshot.pop("timings", None)
+with open(sys.argv[2], "w") as f:
+    json.dump(snapshot, f, sort_keys=True, indent=1)
+EOF
+}
+
+run_cell() {  # run_cell <name> <dispatch> <threads>
+  local name="$1" dispatch="$2" threads="$3"
+  echo "== $name (TSG_CPU_DISPATCH=$dispatch TSG_THREADS=$threads)"
+  TSG_CPU_DISPATCH="$dispatch" TSG_THREADS="$threads" \
+    TSGBENCH_OUT="$WORK/$name" "$BIN" \
+    --metrics_out="$WORK/$name/metrics.json"
+  strip_timings "$WORK/$name/metrics.json" "$WORK/$name/counts.json"
+}
+
+run_cell auto auto 1
+run_cell scalar scalar 1
+run_cell simd2 simd 2
+
+echo "== compare grid summaries (byte-identical)"
+cmp "$WORK/auto"/grid_summary_*.json "$WORK/scalar"/grid_summary_*.json
+cmp "$WORK/auto"/grid_summary_*.json "$WORK/simd2"/grid_summary_*.json
+
+echo "== compare timing-stripped metric snapshots (byte-identical)"
+cmp "$WORK/auto/counts.json" "$WORK/scalar/counts.json"
+cmp "$WORK/auto/counts.json" "$WORK/simd2/counts.json"
+
+echo "dispatch identity OK: counts identical across backends and threads"

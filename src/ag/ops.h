@@ -4,18 +4,29 @@
 #include <cstdint>
 #include "ag/variable.h"
 #include "base/rng.h"
+#include "kernels/kernels.h"
 
 namespace tsg::ag {
 
+/// Activation tag shared with the fused kernel epilogues.
+using kernels::Act;
+
 /// Differentiable operations over Vars. Every function builds a tape node whose
-/// backward closure accumulates gradients into its inputs; composing these is how all
-/// ten TSG methods and all post-hoc evaluation networks are expressed.
+/// backward function accumulates gradients into its inputs; composing these is how all
+/// ten TSG methods and all post-hoc evaluation networks are expressed. Outputs and
+/// backward temporaries come from the active StepScope's arena (heap otherwise), and
+/// every backward accumulates *directly* into input gradient buffers — steady-state
+/// training steps allocate nothing.
 
 // ---- Element-wise binary ops (shapes must match). ----
 Var Add(const Var& a, const Var& b);
 Var Sub(const Var& a, const Var& b);
 Var Mul(const Var& a, const Var& b);
 Var Div(const Var& a, const Var& b);
+/// a + alpha * b as a single tape node — the fused form of
+/// Add(a, ScalarMul(b, alpha)), one output pass and one backward instead of
+/// two of each. The workhorse of Euler ODE steps (h + dt * f).
+Var AddScaled(const Var& a, const Var& b, double alpha);
 
 // ---- Matrix ops. ----
 Var MatMul(const Var& a, const Var& b);
@@ -62,6 +73,21 @@ Var SliceRows(const Var& a, int64_t row0, int64_t nrows);
 /// Cuts the tape: returns a constant with a copy of a's value. Used when training a
 /// GAN discriminator on generator output, and in the VQ-VAE straight-through trick.
 Var Detach(const Var& a);
+
+// ---- Fused ops (single tape node per layer/gate; kernel epilogues). ----
+/// act(x W + b): the whole Dense layer as one node — one GEMM with a fused
+/// bias+activation epilogue forward; backward runs the three gradient GEMMs
+/// straight into the input gradient buffers. b is 1 x cols(W).
+Var LinearBiasAct(const Var& x, const Var& w, const Var& b, Act act,
+                  double leak = 0.2);
+/// act(x Wx + h Wh + b): one recurrent gate as a single node (the GRU/LSTM
+/// inner-loop workhorse; 5 inputs).
+Var GateBiasAct(const Var& x, const Var& wx, const Var& h, const Var& wh,
+                const Var& b, Act act, double leak = 0.2);
+/// z .* h + (1 - z) .* n — the GRU state blend, fused into one node.
+Var GateBlend(const Var& z, const Var& h, const Var& n);
+/// a .* b + c .* d — the LSTM cell-state update (f .* c + i .* g), fused.
+Var MulAdd(const Var& a, const Var& b, const Var& c, const Var& d);
 
 // ---- Losses (scalar outputs). ----
 /// Mean squared error over all elements.

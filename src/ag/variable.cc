@@ -1,29 +1,112 @@
 #include "ag/variable.h"
 
-#include <unordered_set>
+#include <atomic>
+#include <new>
+#include <vector>
+
+#include "ag/tape.h"
+#include "base/check.h"
 
 namespace tsg::ag {
 
+namespace {
+
+/// Monotone sweep ids let Backward() mark visited nodes in place — no hash set,
+/// no allocation, and ids never collide across heap and pooled nodes or across
+/// threads.
+std::atomic<uint64_t> g_sweep_id{0};
+
+Node* NewPooledNode(Tape& tape) {
+  Node* n = new (tape.AllocateNode()) Node();
+  n->pooled = true;
+  tape.NoteNodeCreated();
+  return n;
+}
+
+/// Lists a pooled node for destruction at scope reset iff the matrix it just
+/// took ownership of is heap-owning. Arena-borrowed matrices — the steady
+/// state — leave the node off the list, keeping Reset() O(heap-owning nodes).
+void NoteOwnedMatrix(Node* n, const Matrix& m) {
+  if (n->dtor_listed || m.borrowed() || m.data() == nullptr) return;
+  Tape* tape = Tape::Active();
+  TSG_CHECK(tape != nullptr) << "pooled node mutated outside its StepScope";
+  n->dtor_listed = true;
+  tape->RegisterForDtor(n);
+}
+
+}  // namespace
+
+Matrix& Node::EnsureGrad() {
+  if (!grad.SameShape(value)) {
+    if (pooled) {
+      Tape* tape = Tape::Active();
+      TSG_CHECK(tape != nullptr) << "pooled node used outside its StepScope";
+      grad = tape->ScratchZero(value.rows(), value.cols());
+    } else {
+      grad = Matrix(value.rows(), value.cols());
+    }
+  }
+  return grad;
+}
+
+void Node::SetAux(Matrix m) {
+  if (pooled) NoteOwnedMatrix(this, m);
+  aux = std::move(m);
+}
+
+Var::Var(Matrix value, bool requires_grad) {
+  // Trainable leaves always live on the heap: their value and accumulated
+  // gradient must survive step-scope resets. Constants pool into the active
+  // tape so per-batch data wrappers cost a bump allocation, nothing more.
+  Tape* tape = requires_grad ? nullptr : Tape::Active();
+  if (tape != nullptr) {
+    node_ = NewPooledNode(*tape);
+  } else {
+    owner_ = std::make_shared<Node>();
+    node_ = owner_.get();
+  }
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  if (tape != nullptr) NoteOwnedMatrix(node_, node_->value);
+}
+
 namespace internal {
 
-bool AnyRequiresGrad(const std::vector<Var>& inputs) {
+bool AnyRequiresGrad(std::initializer_list<Var> inputs) {
   for (const Var& v : inputs) {
     if (v.requires_grad()) return true;
   }
   return false;
 }
 
-Var MakeOp(Matrix value, std::vector<Var> inputs,
-           std::function<void(const Matrix&)> backward_fn) {
+Var MakeOp(Matrix value, std::initializer_list<Var> inputs, BackwardFn backward) {
+  TSG_CHECK_LE(inputs.size(), static_cast<size_t>(kMaxInputs));
   const bool needs_grad = AnyRequiresGrad(inputs);
-  Var out(std::move(value), needs_grad);
-  if (needs_grad) {
-    auto node = out.node();
-    node->inputs.reserve(inputs.size());
-    for (const Var& v : inputs) node->inputs.push_back(v.node());
-    node->backward_fn = std::move(backward_fn);
+  Tape* tape = Tape::Active();
+  Node* node;
+  std::shared_ptr<Node> owner;
+  if (tape != nullptr) {
+    node = NewPooledNode(*tape);
+  } else {
+    owner = std::make_shared<Node>();
+    node = owner.get();
   }
-  return out;
+  node->value = std::move(value);
+  node->requires_grad = needs_grad;
+  if (tape != nullptr) NoteOwnedMatrix(node, node->value);
+  if (needs_grad) {
+    node->backward = backward;
+    int k = 0;
+    for (const Var& v : inputs) {
+      node->in[k] = v.node_;
+      // Heap graphs are kept alive through shared ownership; pooled graphs by
+      // the arena (every node of the step outlives the scope's last use).
+      if (owner != nullptr) node->strong[k] = v.owner_;
+      ++k;
+    }
+    node->num_inputs = k;
+  }
+  return Var(node, std::move(owner));
 }
 
 }  // namespace internal
@@ -32,19 +115,26 @@ void Backward(const Var& root) {
   TSG_CHECK(root.defined());
   TSG_CHECK(root.rows() == 1 && root.cols() == 1) << "Backward root must be scalar";
 
-  // Iterative post-order DFS to build a topological order of the reachable subgraph
-  // that participates in differentiation.
-  std::vector<Node*> topo;
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, size_t>> stack;
-  stack.emplace_back(root.node().get(), 0);
-  visited.insert(root.node().get());
+  // Iterative post-order DFS building a topological order of the reachable
+  // subgraph that participates in differentiation. The work stacks are
+  // thread-local and keep their capacity; visitation marks are per-node sweep
+  // ids — the sweep performs no heap allocation once warm.
+  thread_local std::vector<Node*> topo;
+  thread_local std::vector<std::pair<Node*, int>> stack;
+  topo.clear();
+  stack.clear();
+
+  const uint64_t sweep = g_sweep_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  Node* root_node = root.node();
+  root_node->sweep = sweep;
+  stack.emplace_back(root_node, 0);
   while (!stack.empty()) {
     auto& [node, next_child] = stack.back();
-    if (next_child < node->inputs.size()) {
-      Node* child = node->inputs[next_child].get();
+    if (next_child < node->num_inputs) {
+      Node* child = node->in[next_child];
       ++next_child;
-      if (child->requires_grad && visited.insert(child).second) {
+      if (child->requires_grad && child->sweep != sweep) {
+        child->sweep = sweep;
         stack.emplace_back(child, 0);
       }
     } else {
@@ -53,16 +143,15 @@ void Backward(const Var& root) {
     }
   }
 
-  // Allocate gradient buffers for freshly created interior nodes; leaves keep any
-  // previously accumulated gradient so multi-loss accumulation works.
+  // Allocate gradient buffers for freshly created interior nodes; leaves keep
+  // any previously accumulated gradient so multi-loss accumulation works.
   for (Node* node : topo) node->EnsureGrad();
 
-  Node* root_node = root.node().get();
   root_node->grad(0, 0) += 1.0;
 
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     Node* node = *it;
-    if (node->backward_fn) node->backward_fn(node->grad);
+    if (node->backward != nullptr) node->backward(node, node->grad);
   }
 }
 

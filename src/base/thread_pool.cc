@@ -79,12 +79,6 @@ ThreadPoolStats ThreadPool::stats() const {
   return out;
 }
 
-void ThreadPool::NoteLoop(bool parallel, int64_t chunks) {
-  (parallel ? parallel_loops_ : serial_loops_)
-      .fetch_add(1, std::memory_order_relaxed);
-  loop_chunks_.fetch_add(chunks, std::memory_order_relaxed);
-}
-
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -146,15 +140,14 @@ struct LoopState {
 
 }  // namespace
 
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body) {
-  const int64_t n = end - begin;
-  if (n <= 0) return;
-  if (grain <= 0) grain = 1;
+namespace detail {
 
+void ParallelForFanOut(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
   ThreadPool& pool = ThreadPool::Global();
   const int64_t parallelism = pool.max_parallelism();
-  if (t_in_parallel_region || parallelism <= 1 || n <= grain) {
+  if (parallelism <= 1) {  // Raced with SetMaxParallelism; run inline.
     pool.NoteLoop(/*parallel=*/false, /*chunks=*/1);
     body(begin, end);
     return;
@@ -186,5 +179,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   }
   if (state->error) std::rethrow_exception(state->error);
 }
+
+}  // namespace detail
 
 }  // namespace tsg::base

@@ -61,8 +61,13 @@ class ThreadPool {
   ThreadPoolStats stats() const;
 
   /// Instrumentation hook used by ParallelFor to attribute one loop dispatch
-  /// (inline or fanned out) to this pool's stats.
-  void NoteLoop(bool parallel, int64_t chunks);
+  /// (inline or fanned out) to this pool's stats. Inline: the serial path runs
+  /// once per kernel launch, and tiny-GEMM workloads launch millions.
+  void NoteLoop(bool parallel, int64_t chunks) {
+    (parallel ? parallel_loops_ : serial_loops_)
+        .fetch_add(1, std::memory_order_relaxed);
+    loop_chunks_.fetch_add(chunks, std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop();
@@ -89,18 +94,39 @@ class ThreadPool {
 /// workers may all be occupied by the outer loop.
 bool InParallelRegion();
 
+namespace detail {
+/// Fan-out path of ParallelFor; only reached when the loop actually forks, so
+/// the std::function conversion (and its possible heap allocation) never
+/// happens on the serial path — the training hot loop's zero-allocation
+/// contract (tests/alloc_test.cc) depends on that.
+void ParallelForFanOut(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& body);
+}  // namespace detail
+
 /// Runs body(chunk_begin, chunk_end) over a partition of [begin, end) using the
 /// global pool, with chunks of at least `grain` items (grain <= 0 is treated as 1).
 /// Runs serially inline when the range fits in one grain, the pool is capped at one
-/// thread, or the caller is already inside a parallel region.
+/// thread, or the caller is already inside a parallel region — without
+/// type-erasing `body`, so a serial loop performs zero heap allocations.
 ///
 /// Determinism contract: the body must write only state owned by its index range.
 /// Cross-item reductions belong *after* the loop, folded in index order (see
 /// ParallelMapReduce) — that is what keeps results bit-identical across thread
 /// counts. The first exception thrown by any chunk is rethrown on the calling
 /// thread; remaining chunks are skipped.
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body);
+template <typename Body>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, const Body& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain <= 0) grain = 1;
+  ThreadPool& pool = ThreadPool::Global();
+  if (InParallelRegion() || pool.max_parallelism() <= 1 || n <= grain) {
+    pool.NoteLoop(/*parallel=*/false, /*chunks=*/1);
+    body(begin, end);
+    return;
+  }
+  detail::ParallelForFanOut(begin, end, grain, body);
+}
 
 /// Evaluates map(i) for i in [0, n) in parallel and returns the results in index
 /// order. T must be default-constructible and move-assignable.

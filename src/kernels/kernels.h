@@ -13,7 +13,8 @@
 // Two backends, one algorithm. The scalar backend (`kernels::scalar`) is always
 // compiled; the SIMD backend (`kernels::simd`, GNU vector extensions) exists when
 // TSG_KERNELS_SIMD is 1 (CMake option TSG_ENABLE_SIMD, default ON, on a GCC/Clang
-// toolchain). The unqualified functions dispatch at build time. Both backends run
+// toolchain). The unqualified Gemm family dispatches at runtime (cpuid +
+// TSG_CPU_DISPATCH, see below). Both backends run
 // the identical algorithm at the same logical width (kLanes = 4): every output
 // element accumulates its products in the same order, so results are
 // **bit-identical between the SIMD and scalar backends** and — because parallel
@@ -26,17 +27,45 @@
 // output buffer) and safe to call concurrently. The Gemm* family fans out over
 // row panels on the global base::ThreadPool above a flop threshold and runs
 // serially inline below it or inside an outer parallel region; everything else
-// is single-threaded. No function allocates except Gemm/GemmTransA packing
-// panels (base::AlignedBuffer). Errors are contract violations only (no Status):
-// callers pass validated shapes.
+// is single-threaded. Packing panels live in thread-local scratch that grows
+// monotonically, so a warm GEMM performs zero heap allocations. Errors are
+// contract violations only (no Status): callers pass validated shapes.
+//
+// Backend *selection* is a runtime decision: the unqualified Gemm family routes
+// through a function-pointer table resolved once at first use — TSG_CPU_DISPATCH
+// env override ("scalar", "simd"/"avx2", or "auto"), else cpuid (AVX2 probe on
+// x86-64). Because both backends are bit-identical, dispatch never changes
+// results — the CI scalar leg proves it by comparing counts snapshots. The
+// fixed-width inline primitives (Dot/SquaredDistance/Axpy) stay compile-time
+// dispatched: they are bit-identical by construction and per-call indirection
+// would hurt the DTW cell recurrence.
 namespace tsg::kernels {
 
-/// True when the active (unqualified) backend is the SIMD one.
+/// How the runtime backend was (or should be) chosen; see ForceDispatch.
+enum class DispatchMode : int { kAuto = 0, kScalar, kSimd };
+
+/// True when the SIMD backend was compiled in (TSG_ENABLE_SIMD build option).
+constexpr bool SimdCompiled() { return TSG_KERNELS_SIMD != 0; }
+
+/// True when the runtime-dispatched backend is the SIMD one.
 bool SimdEnabled();
 
+/// The mode the dispatch table resolved to (never kAuto).
+DispatchMode ResolvedDispatch();
+
 /// Human-readable backend tag for logs and bench artifacts:
-/// "simd-v4" or "scalar-v4".
+/// "simd-v4" or "scalar-v4" (the runtime-dispatched backend).
 const char* BackendName();
+
+/// Re-resolves the dispatch table, overriding the TSG_CPU_DISPATCH env
+/// (tests/bench only; not thread-safe against concurrent kernel calls).
+/// kSimd silently falls back to scalar when the SIMD backend isn't compiled.
+void ForceDispatch(DispatchMode mode);
+
+/// Activation tags for the fused GEMM epilogues. Mirrors nn::Activation; lives
+/// here so the epilogue and its backward share one scalar definition compiled
+/// in exactly one TU (dispatch- and call-site-independent values).
+enum class Act : int { kNone = 0, kRelu, kLeakyRelu, kSigmoid, kTanh, kSoftplus };
 
 /// True when the GEMM drivers were compiled with FMA contraction (x86-64 with
 /// TSG_ENABLE_AVX2, see src/kernels/CMakeLists.txt). When true every Gemm /
@@ -139,6 +168,8 @@ void GemmTransB(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
 }  // namespace simd
 #endif  // TSG_KERNELS_SIMD
 
+/// Compile-time default for the header-inline primitives below: the widest
+/// compiled backend. The runtime dispatch table (Gemm family) is independent.
 #if TSG_KERNELS_SIMD
 namespace active = simd;
 #else
@@ -168,29 +199,69 @@ inline void Axpy(int64_t n, double alpha, const double* x, double* y) {
 /// ascending-p order — the invariant behind both determinism guarantees.
 /// Large shapes run the packed, register-tiled path (DESIGN.md §6); small ones a
 /// vectorized streaming loop; the size dispatch depends only on (m, n, k).
-inline void Gemm(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
-                 const double* b, int64_t ldb, double* c, int64_t ldc) {
-  active::Gemm(m, n, k, a, lda, b, ldb, c, ldc);
-}
+/// Routed through the runtime dispatch table (one indirect call per GEMM).
+void Gemm(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+          const double* b, int64_t ldb, double* c, int64_t ldc);
 
 /// C += A^T * B without materializing the transpose: A is k x m (lda), B is
 /// k x n (ldb), C is m x n (ldc). Same ordering contract as Gemm — and because
 /// the accumulation order per element is identical, GemmTransA(A, B) is
 /// bit-identical to Gemm(transpose(A), B).
-inline void GemmTransA(int64_t m, int64_t n, int64_t k, const double* a,
-                       int64_t lda, const double* b, int64_t ldb, double* c,
-                       int64_t ldc) {
-  active::GemmTransA(m, n, k, a, lda, b, ldb, c, ldc);
-}
+void GemmTransA(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+                const double* b, int64_t ldb, double* c, int64_t ldc);
 
 /// C += A * B^T without materializing the transpose: A is m x k (lda), B is
 /// n x k (ldb), C is m x n (ldc). Row-row dot products in the canonical
 /// lane-split Dot order.
-inline void GemmTransB(int64_t m, int64_t n, int64_t k, const double* a,
-                       int64_t lda, const double* b, int64_t ldb, double* c,
-                       int64_t ldc) {
-  active::GemmTransB(m, n, k, a, lda, b, ldb, c, ldc);
-}
+void GemmTransB(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+                const double* b, int64_t ldb, double* c, int64_t ldc);
+
+// ---- Fused epilogues and element-wise lanes. --------------------------------
+// Each has exactly one implementation, compiled once in kernels.cc: element-wise
+// (or fixed ascending-order column chains), so values are independent of the
+// dispatch mode and thread count by construction.
+
+/// x[i] *= alpha for i in [0, n).
+void Scale(int64_t n, double alpha, double* x);
+
+/// In-place fused epilogue over a row-major m x n block with leading dimension
+/// ldc: c = act(c + bias) (bias is 1 x n, broadcast over rows; nullptr skips
+/// the add). When `pre_out` is non-null it receives the pre-activation values
+/// (same m x n/ldc layout) — needed to backprop kSoftplus, whose derivative is
+/// not recoverable from the output. `leak` is the kLeakyRelu negative slope.
+void BiasActInPlace(int64_t m, int64_t n, double* c, int64_t ldc,
+                    const double* bias, Act act, double leak, double* pre_out);
+
+/// Fused forward layer: C = act(A * B + bias). Zeroes C, runs the dispatched
+/// Gemm, then the BiasActInPlace epilogue — one pass over C per stage, no
+/// intermediate matrices. Layout contract matches Gemm + BiasActInPlace.
+void GemmBiasAct(int64_t m, int64_t n, int64_t k, const double* a, int64_t lda,
+                 const double* b, int64_t ldb, const double* bias, double* c,
+                 int64_t ldc, Act act, double leak, double* pre_out);
+
+/// Fused activation backward: dpre[i] = g[i] * act'(pre[i]) for i in [0, size),
+/// where the derivative is reconstructed from the *output* value (sigmoid/tanh/
+/// relu/leaky-relu) or read from the stashed pre-activation (`pre`, required
+/// for kSoftplus; may be null otherwise). Contiguous buffers.
+void ActBackwardMul(Act act, double leak, int64_t size, const double* g,
+                    const double* out, const double* pre, double* dpre);
+
+/// dst[j] += sum_i src(i, j): column sums of a row-major m x n block (leading
+/// dimension lds) accumulated into a length-n row — the bias gradient. Each
+/// column folds its terms in ascending-i order.
+void ColSumAccum(int64_t m, int64_t n, const double* src, int64_t lds,
+                 double* dst);
+
+/// Fused Adam update lane over n contiguous elements:
+///   m = beta1*m + (1-beta1)*g;  v = beta2*v + (1-beta2)*g^2
+///   p -= lr * (m/bias_corr1) / (sqrt(v/bias_corr2) + eps)
+void AdamUpdate(int64_t n, double lr, double beta1, double beta2, double eps,
+                double bias_corr1, double bias_corr2, const double* g,
+                double* m, double* v, double* p);
+
+/// Fused SGD+momentum update lane: vel = momentum*vel - lr*g; p += vel.
+void SgdMomentumUpdate(int64_t n, double lr, double momentum, const double* g,
+                       double* vel, double* p);
 
 }  // namespace tsg::kernels
 

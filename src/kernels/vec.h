@@ -51,6 +51,11 @@ struct VecScalar {
     for (int l = 0; l < kLanes; ++l) v.lane[l] = lane[l] - o.lane[l];
     return v;
   }
+  VecScalar Add(const VecScalar& o) const {
+    VecScalar v;
+    for (int l = 0; l < kLanes; ++l) v.lane[l] = lane[l] + o.lane[l];
+    return v;
+  }
   double GetLane(int l) const { return lane[l]; }
   void AddToLane(int l, double x) { lane[l] += x; }
 };
@@ -76,6 +81,7 @@ struct VecSimd {
 
   void FmaAccum(const VecSimd& a, const VecSimd& b) { reg += a.reg * b.reg; }
   VecSimd Sub(const VecSimd& o) const { return {reg - o.reg}; }
+  VecSimd Add(const VecSimd& o) const { return {reg + o.reg}; }
   double GetLane(int l) const { return reg[l]; }
   void AddToLane(int l, double x) { reg[l] += x; }
 };

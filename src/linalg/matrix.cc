@@ -11,11 +11,27 @@ namespace tsg::linalg {
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = static_cast<int64_t>(rows.size());
   cols_ = rows_ == 0 ? 0 : static_cast<int64_t>(rows.begin()->size());
-  data_.reserve(static_cast<size_t>(rows_ * cols_));
+  data_ = HeapAlloc(rows_ * cols_);
+  double* dst = data_;
   for (const auto& row : rows) {
     TSG_CHECK_EQ(static_cast<int64_t>(row.size()), cols_) << "ragged initializer";
-    data_.insert(data_.end(), row.begin(), row.end());
+    dst = std::copy(row.begin(), row.end(), dst);
   }
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  // Reuse the existing buffer (heap or borrowed) when the element count matches;
+  // otherwise fall back to a fresh owning allocation.
+  if (size() != other.size()) {
+    Release();
+    borrowed_ = false;
+    data_ = HeapAlloc(other.size());
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  std::copy_n(other.data_, other.size(), data_);
+  return *this;
 }
 
 Matrix Matrix::Identity(int64_t n) {
@@ -26,26 +42,26 @@ Matrix Matrix::Identity(int64_t n) {
 
 Matrix Matrix::FromVector(int64_t rows, int64_t cols, const std::vector<double>& v) {
   TSG_CHECK_EQ(rows * cols, static_cast<int64_t>(v.size()));
-  Matrix m(rows, cols);
-  std::copy(v.begin(), v.end(), m.data_.begin());
+  Matrix m = Matrix::Uninit(rows, cols);
+  std::copy(v.begin(), v.end(), m.data_);
   return m;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (auto& v : data_) v *= s;
+  kernels::Scale(size(), s, data_);
   return *this;
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   TSG_CHECK(SameShape(other)) << rows_ << "x" << cols_ << " += " << other.rows_ << "x"
                               << other.cols_;
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::Axpy(size(), 1.0, other.data_, data_);
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   TSG_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  kernels::Axpy(size(), -1.0, other.data_, data_);
   return *this;
 }
 
@@ -54,7 +70,7 @@ Matrix Matrix::Transpose() const {
   // Blocked raw-pointer sweep: both the source row and the destination columns of a
   // 32x32 tile stay cache-resident, unlike the naive checked element loop.
   constexpr int64_t kBlock = 32;
-  const double* src = data_.data();
+  const double* src = data_;
   double* dst = t.data();
   for (int64_t i0 = 0; i0 < rows_; i0 += kBlock) {
     const int64_t i1 = std::min(rows_, i0 + kBlock);
@@ -79,7 +95,7 @@ Matrix Matrix::Block(int64_t row0, int64_t col0, int64_t nrows, int64_t ncols) c
       << rows_ << "x" << cols_;
   Matrix out(nrows, ncols);
   for (int64_t i = 0; i < nrows; ++i) {
-    const double* src = data_.data() + (row0 + i) * cols_ + col0;
+    const double* src = data_ + (row0 + i) * cols_ + col0;
     std::copy(src, src + ncols, out.data() + i * ncols);
   }
   return out;
@@ -91,25 +107,25 @@ void Matrix::SetBlock(int64_t row0, int64_t col0, const Matrix& block) {
   const int64_t ncols = block.cols();
   for (int64_t i = 0; i < block.rows(); ++i) {
     const double* src = block.data() + i * ncols;
-    std::copy(src, src + ncols, data_.data() + (row0 + i) * cols_ + col0);
+    std::copy(src, src + ncols, data_ + (row0 + i) * cols_ + col0);
   }
 }
 
 double Matrix::Sum() const {
   double s = 0.0;
-  for (double v : data_) s += v;
+  for (int64_t i = 0; i < size(); ++i) s += data_[i];
   return s;
 }
 
 double Matrix::MaxAbs() const {
   double m = 0.0;
-  for (double v : data_) m = std::max(m, std::fabs(v));
+  for (int64_t i = 0; i < size(); ++i) m = std::max(m, std::fabs(data_[i]));
   return m;
 }
 
 double Matrix::Norm() const {
   double s = 0.0;
-  for (double v : data_) s += v * v;
+  for (int64_t i = 0; i < size(); ++i) s += data_[i] * data_[i];
   return std::sqrt(s);
 }
 

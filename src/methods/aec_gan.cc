@@ -149,6 +149,8 @@ Status AecGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
   for (int epoch = 0; epoch < epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      // `tail`/`fake_window` feed all three updates; one scope per iteration.
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       const Var ones = Var::Constant(Matrix::Constant(batch, 1, 1.0));
       const Var zeros = Var::Constant(Matrix::Constant(batch, 1, 0.0));

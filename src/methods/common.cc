@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <sstream>
+#include <string>
 
+#include "ag/tape.h"
 #include "base/stopwatch.h"
 #include "obs/metrics.h"
 
@@ -19,23 +22,95 @@ Status NonFinite(const StepContext& ctx, const char* what, double value) {
   return Status::NumericalError(os.str());
 }
 
-/// Metric-name prefix for one (method, phase) training loop, e.g.
-/// "train.TimeGAN.joint". Every method reports under the same scheme because
-/// GuardedStep is the single choke point for optimizer updates.
-std::string StepPrefix(const StepContext& ctx) {
-  return std::string("train.") + ctx.method + "." + ctx.phase;
+/// Pointer-cached metric handles for one (method, phase) training loop under
+/// the "train.<method>.<phase>" prefix. GuardedStep is the single choke point
+/// for optimizer updates and runs once per training step, so its metric lookups
+/// must not allocate: the std::string name build plus map lookup per Get* call
+/// would be ~10 heap allocations per step. Handles stay valid until
+/// MetricRegistry::Reset(), which bumps the registry generation; the cache
+/// re-resolves when the generation moves.
+struct StepMetrics {
+  const char* method = nullptr;
+  const char* phase = nullptr;
+  obs::Counter* nonfinite_loss = nullptr;
+  obs::Counter* nonfinite_grad = nullptr;
+  obs::Counter* steps = nullptr;
+  obs::Counter* steady_state_allocs = nullptr;
+  obs::Histogram* loss = nullptr;
+  obs::Histogram* grad_norm = nullptr;
+  obs::Histogram* step_seconds = nullptr;
+  obs::Gauge* epoch = nullptr;
+  obs::Gauge* arena_bytes_peak = nullptr;
+  obs::Gauge* nodes_per_step = nullptr;
+};
+
+StepMetrics ResolveStepMetrics(const StepContext& ctx) {
+  obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
+  const std::string prefix = std::string("train.") + ctx.method + "." + ctx.phase;
+  StepMetrics m;
+  m.method = ctx.method;
+  m.phase = ctx.phase;
+  m.nonfinite_loss = &metrics.GetCounter(prefix + ".nonfinite_loss");
+  m.nonfinite_grad = &metrics.GetCounter(prefix + ".nonfinite_grad");
+  m.steps = &metrics.GetCounter(prefix + ".steps");
+  m.steady_state_allocs = &metrics.GetCounter("ag.allocs.steady_state");
+  m.loss = &metrics.GetHistogram(prefix + ".loss");
+  m.grad_norm = &metrics.GetHistogram(prefix + ".grad_norm");
+  m.step_seconds = &metrics.GetTimer(prefix + ".step_seconds");
+  m.epoch = &metrics.GetGauge(prefix + ".epoch");
+  m.arena_bytes_peak = &metrics.GetGauge("ag.arena.bytes_peak");
+  m.nodes_per_step = &metrics.GetGauge("ag.nodes.per_step");
+  return m;
+}
+
+/// Methods interleave a handful of (method, phase) pairs per thread (TimeGAN's
+/// joint phase alternates three optimizers under one phase name; GANs alternate
+/// G and D phases), so a short linear scan with pointer-equality fast path
+/// covers the steady state without hashing or allocation.
+const StepMetrics& CachedStepMetrics(const StepContext& ctx) {
+  thread_local std::vector<StepMetrics> cache;
+  thread_local uint64_t cache_generation = ~uint64_t{0};
+  const uint64_t generation = obs::MetricRegistry::Global().generation();
+  if (cache_generation != generation) {
+    cache.clear();
+    cache_generation = generation;
+  }
+  for (const StepMetrics& m : cache) {
+    if ((m.method == ctx.method ||
+         std::strcmp(m.method, ctx.method) == 0) &&
+        (m.phase == ctx.phase || std::strcmp(m.phase, ctx.phase) == 0)) {
+      return m;
+    }
+  }
+  cache.push_back(ResolveStepMetrics(ctx));
+  return cache.back();
+}
+
+/// Exports the step-arena telemetry for the tape this step ran under, if any.
+/// The steady-state counter only moves when a post-warm-up step had to grow the
+/// arena — the zero-allocation contract's violation count.
+void ExportTapeStats(const StepMetrics& m) {
+  const ag::Tape* tape = ag::Tape::Active();
+  if (tape == nullptr) return;
+  thread_local int64_t last_steady_state = 0;
+  m.arena_bytes_peak->Set(static_cast<double>(tape->arena_bytes_peak()));
+  m.nodes_per_step->Set(static_cast<double>(tape->nodes_since_reset()));
+  const int64_t steady = tape->steady_state_chunk_allocs();
+  if (steady > last_steady_state) {
+    m.steady_state_allocs->Add(steady - last_steady_state);
+  }
+  last_steady_state = steady;
 }
 
 }  // namespace
 
 Status GuardedStep(std::initializer_list<nn::Optimizer*> opts, const Var& loss,
                    double clip_norm, const StepContext& ctx) {
-  obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
-  const std::string prefix = StepPrefix(ctx);
+  const StepMetrics& m = CachedStepMetrics(ctx);
   const Stopwatch watch;
   const double value = loss.value()(0, 0);
   if (!std::isfinite(value)) {
-    metrics.GetCounter(prefix + ".nonfinite_loss").Add();
+    m.nonfinite_loss->Add();
     return NonFinite(ctx, "loss", value);
   }
   for (nn::Optimizer* opt : opts) opt->ZeroGrad();
@@ -46,7 +121,7 @@ Status GuardedStep(std::initializer_list<nn::Optimizer*> opts, const Var& loss,
   for (nn::Optimizer* opt : opts) {
     const double norm = opt->ClipGradNorm(max_norm);
     if (!std::isfinite(norm)) {
-      metrics.GetCounter(prefix + ".nonfinite_grad").Add();
+      m.nonfinite_grad->Add();
       return NonFinite(ctx, "gradient norm", norm);
     }
     worst_norm = std::max(worst_norm, norm);
@@ -55,11 +130,12 @@ Status GuardedStep(std::initializer_list<nn::Optimizer*> opts, const Var& loss,
   // Per-step telemetry: loss and pre-clip gradient norm are deterministic data
   // (snapshot "counts" section); the step time is wall clock ("timings"). The
   // epoch gauge tracks training progress for a live reader of the registry.
-  metrics.GetCounter(prefix + ".steps").Add();
-  metrics.GetHistogram(prefix + ".loss").Record(value);
-  metrics.GetHistogram(prefix + ".grad_norm").Record(worst_norm);
-  metrics.GetGauge(prefix + ".epoch").Set(static_cast<double>(ctx.epoch));
-  metrics.RecordTimer(prefix + ".step_seconds", watch.ElapsedSeconds());
+  m.steps->Add();
+  m.loss->Record(value);
+  m.grad_norm->Record(worst_norm);
+  m.epoch->Set(static_cast<double>(ctx.epoch));
+  m.step_seconds->Record(watch.ElapsedSeconds());
+  ExportTapeStats(m);
   return Status::Ok();
 }
 
@@ -71,7 +147,9 @@ Status GuardedStep(nn::Optimizer& opt, const Var& loss, double clip_norm,
 Var StepBatch(const Dataset& ds, const std::vector<int64_t>& idx, int64_t t) {
   const int64_t batch = static_cast<int64_t>(idx.size());
   const int64_t n = ds.num_features();
-  Matrix out(batch, n);
+  // Arena-backed inside a StepScope: batch assembly rides the tape, so the
+  // per-step data marshalling is allocation-free too.
+  Matrix out = ag::ScratchUninit(batch, n);
   for (int64_t b = 0; b < batch; ++b) {
     const Matrix& s = ds.sample(idx[static_cast<size_t>(b)]);
     for (int64_t j = 0; j < n; ++j) out(b, j) = s(t, j);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ag/ops.h"
+#include "ag/tape.h"
 #include "base/status.h"
 #include "core/dataset.h"
 #include "core/method.h"

@@ -161,6 +161,8 @@ Status CosciGan::Fit(const core::Dataset& train, const core::FitOptions& options
   for (int epoch = 0; epoch < epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      // `fake` is shared by the D and G updates; the scope spans both.
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       const Var ones = Var::Constant(Matrix::Constant(batch, 1, 1.0));
       const Var zeros = Var::Constant(Matrix::Constant(batch, 1, 0.0));

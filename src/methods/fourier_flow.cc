@@ -174,6 +174,7 @@ Status FourierFlow::Fit(const core::Dataset& train, const core::FitOptions& opti
   for (int epoch = 0; epoch < epochs; ++epoch) {
     MiniBatcher batcher(count, options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       Matrix xb(batch, dim);
       for (int64_t b = 0; b < batch; ++b) {

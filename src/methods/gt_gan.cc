@@ -12,6 +12,7 @@ namespace tsg::methods {
 
 using ag::Abs;
 using ag::Add;
+using ag::AddScaled;
 using ag::AddRowVec;
 using ag::Backward;
 using ag::BceWithLogits;
@@ -68,7 +69,10 @@ struct GtGan::Nets {
     for (const Var& z_t : step_noise) {
       for (int s = 0; s < kEulerSubsteps; ++s) {
         const Var dh = gen_field.Forward(ConcatCols(h, z_t));
-        h = h + ScalarMul(dh, dt);
+        // The Euler update rides the fusion flag like the layer forwards do:
+        // one AddScaled node on the hot path, the two-node composition when
+        // fusion is disabled (the benchmark baseline).
+        h = nn::FusedForward() ? AddScaled(h, dh, dt) : h + ScalarMul(dh, dt);
       }
       out.push_back(gen_head.Forward(h));
     }
@@ -82,7 +86,8 @@ struct GtGan::Nets {
     const double dt = 1.0 / static_cast<double>(kDiscSubsteps);
     for (const Var& x_t : series) {
       for (int s = 0; s < kDiscSubsteps; ++s) {
-        h = h + ScalarMul(disc_field.Forward(h), dt);
+        const Var dh = disc_field.Forward(h);
+        h = nn::FusedForward() ? AddScaled(h, dh, dt) : h + ScalarMul(dh, dt);
       }
       h = disc_jump.Forward(x_t, h);
     }
@@ -124,6 +129,7 @@ Status GtGan::Fit(const core::Dataset& train, const core::FitOptions& options) {
   for (int epoch = 0; epoch < kMlePretrainEpochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       const std::vector<Var> real = SequenceBatch(train, idx);
       const std::vector<Var> noise = NoiseSequence(seq_len_, batch, noise_dim_, rng);
@@ -145,6 +151,8 @@ Status GtGan::Fit(const core::Dataset& train, const core::FitOptions& options) {
   for (int epoch = 0; epoch < epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      // `fake` is shared by the D and G updates; the scope spans both.
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       const Var ones = Var::Constant(Matrix::Constant(batch, 1, 1.0));
       const Var zeros = Var::Constant(Matrix::Constant(batch, 1, 0.0));

@@ -152,6 +152,7 @@ Status Ls4::Fit(const core::Dataset& train, const core::FitOptions& options) {
   for (int epoch = 0; epoch < epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       const std::vector<Var> x = SequenceBatch(train, idx);
 

@@ -95,6 +95,9 @@ Status Rgan::Fit(const core::Dataset& train, const core::FitOptions& options) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     std::vector<int64_t> idx;
     while (batcher.Next(&idx)) {
+      // One step scope per batch: both GuardedSteps below share the generator
+      // graph, so the arena resets only after the generator update.
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       const std::vector<Var> real = SequenceBatch(train, idx);
       const std::vector<Var> noise = NoiseSequence(seq_len_, batch, noise_dim_, rng);

@@ -110,6 +110,7 @@ Status RtsGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
   for (int epoch = 0; epoch < ae_epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      const ag::StepScope step_scope;
       const std::vector<Var> x = SequenceBatch(train, idx);
       const std::vector<Var> recon = nets_->Decode(nets_->Encode(x), seq_len_);
       Var loss = MseLoss(recon[0], x[0]);
@@ -132,6 +133,7 @@ Status RtsGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
   const int64_t batch = std::min<int64_t>(options.batch_size, train.num_samples());
   for (int step = 0; step < gan_steps; ++step) {
     for (int c = 0; c < kCriticSteps; ++c) {
+      const ag::StepScope step_scope;
       std::vector<int64_t> sample_idx(static_cast<size_t>(batch));
       for (auto& v : sample_idx) v = rng.UniformInt(train.num_samples());
       const Var real_latent = Detach(nets_->Encode(SequenceBatch(train, sample_idx)));
@@ -146,9 +148,13 @@ Status RtsGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
           GuardedStep(c_opt, c_loss, /*clip_norm=*/0.0, {"RTSGAN", "critic", step}));
       nn::ClipParameterValues(critic_params, kClip);
     }
-    const Var fake_latent = nets_->latent_gen.Forward(Randn(batch, noise_dim_, rng));
-    const Var g_loss = Neg(Mean(nets_->critic.Forward(fake_latent)));
-    TSG_RETURN_IF_ERROR(GuardedStep(g_opt, g_loss, 5.0, {"RTSGAN", "gen", step}));
+    {
+      const ag::StepScope step_scope;
+      const Var fake_latent =
+          nets_->latent_gen.Forward(Randn(batch, noise_dim_, rng));
+      const Var g_loss = Neg(Mean(nets_->critic.Forward(fake_latent)));
+      TSG_RETURN_IF_ERROR(GuardedStep(g_opt, g_loss, 5.0, {"RTSGAN", "gen", step}));
+    }
   }
   return Status::Ok();
 }

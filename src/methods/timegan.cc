@@ -180,6 +180,7 @@ Status TimeGan::Fit(const core::Dataset& train, const core::FitOptions& options)
   for (int epoch = 0; epoch < ae_epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      const ag::StepScope step_scope;
       const std::vector<Var> x = SequenceBatch(train, idx);
       const Var ae_loss = SequenceMse(nets_->Recover(nets_->Embed(x)), x);
       TSG_RETURN_IF_ERROR(
@@ -192,6 +193,7 @@ Status TimeGan::Fit(const core::Dataset& train, const core::FitOptions& options)
   for (int epoch = 0; epoch < sup_epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      const ag::StepScope step_scope;
       const std::vector<Var> x = SequenceBatch(train, idx);
       std::vector<Var> h = nets_->Embed(x);
       for (Var& v : h) v = Detach(v);  // Supervisor-only phase.
@@ -206,6 +208,9 @@ Status TimeGan::Fit(const core::Dataset& train, const core::FitOptions& options)
   for (int epoch = 0; epoch < joint_epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      // `x`, `ones`, `zeros` feed all three updates, so the scope spans the
+      // whole iteration rather than each GuardedStep.
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       const std::vector<Var> x = SequenceBatch(train, idx);
       const Var ones = Var::Constant(Matrix::Constant(batch, 1, 1.0));

@@ -150,6 +150,7 @@ Status TimeVae::Fit(const core::Dataset& train, const core::FitOptions& options)
   for (int epoch = 0; epoch < epochs; ++epoch) {
     MiniBatcher batcher(train.num_samples(), options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      const ag::StepScope step_scope;
       const int64_t batch = static_cast<int64_t>(idx.size());
       Matrix xb(batch, flat_all.cols());
       for (int64_t b = 0; b < batch; ++b) {

@@ -335,6 +335,7 @@ Status TimeVqVae::Fit(const core::Dataset& train, const core::FitOptions& option
   for (int epoch = 0; epoch < epochs; ++epoch) {
     MiniBatcher batcher(count, options.batch_size, rng);
     while (batcher.Next(&idx)) {
+      const ag::StepScope step_scope;
       const Var loss = band_loss(impl_->low, low_data, idx) +
                        band_loss(impl_->high, high_data, idx);
       TSG_RETURN_IF_ERROR(GuardedStep(opt, loss, 5.0, {"TimeVQVAE", "vqvae", epoch}));

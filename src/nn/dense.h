@@ -15,6 +15,26 @@ enum class Activation { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh, kSoftplus };
 /// Applies the named activation to `x`.
 Var Activate(const Var& x, Activation activation);
 
+/// Maps the layer-level Activation tag onto the kernel epilogue tag.
+inline ag::Act ToKernelAct(Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return ag::Act::kNone;
+    case Activation::kRelu:
+      return ag::Act::kRelu;
+    case Activation::kLeakyRelu:
+      return ag::Act::kLeakyRelu;
+    case Activation::kSigmoid:
+      return ag::Act::kSigmoid;
+    case Activation::kTanh:
+      return ag::Act::kTanh;
+    case Activation::kSoftplus:
+      return ag::Act::kSoftplus;
+  }
+  TSG_CHECK(false) << "unknown activation";
+  return ag::Act::kNone;
+}
+
 /// Fully connected layer: y = act(x * W + b) with x of shape (batch x in).
 class Dense : public Module {
  public:
@@ -25,6 +45,9 @@ class Dense : public Module {
         activation_(activation) {}
 
   Var Forward(const Var& x) const {
+    if (FusedForward()) {
+      return ag::LinearBiasAct(x, weight_, bias_, ToKernelAct(activation_));
+    }
     return Activate(ag::AddRowVec(ag::MatMul(x, weight_), bias_), activation_);
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace tsg::nn {
 
 void Optimizer::ZeroGrad() {
@@ -13,7 +15,7 @@ double Optimizer::ClipGradNorm(double max_norm) {
   double sq = 0.0;
   for (const Var& p : params_) {
     const auto& g = p.grad();
-    for (int64_t i = 0; i < g.size(); ++i) sq += g[i] * g[i];
+    sq += kernels::Dot(g.data(), g.data(), g.size());
   }
   const double norm = std::sqrt(sq);
   if (norm > max_norm && norm > 0.0) {
@@ -36,11 +38,8 @@ void Sgd::Step() {
     auto& value = params_[k].mutable_value();
     const auto& grad = params_[k].grad();
     if (grad.size() != value.size()) continue;  // Never touched by Backward.
-    auto& vel = velocity_[k];
-    for (int64_t i = 0; i < value.size(); ++i) {
-      vel[i] = momentum_ * vel[i] - lr_ * grad[i];
-      value[i] += vel[i];
-    }
+    kernels::SgdMomentumUpdate(value.size(), lr_, momentum_, grad.data(),
+                               velocity_[k].data(), value.data());
   }
 }
 
@@ -62,15 +61,8 @@ void Adam::Step() {
     auto& value = params_[k].mutable_value();
     const auto& grad = params_[k].grad();
     if (grad.size() != value.size()) continue;
-    auto& m = m_[k];
-    auto& v = v_[k];
-    for (int64_t i = 0; i < value.size(); ++i) {
-      m[i] = beta1_ * m[i] + (1.0 - beta1_) * grad[i];
-      v[i] = beta2_ * v[i] + (1.0 - beta2_) * grad[i] * grad[i];
-      const double m_hat = m[i] / bias1;
-      const double v_hat = v[i] / bias2;
-      value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    kernels::AdamUpdate(value.size(), lr_, beta1_, beta2_, eps_, bias1, bias2,
+                        grad.data(), m_[k].data(), v_[k].data(), value.data());
   }
 }
 

@@ -114,6 +114,12 @@ void MetricRegistry::RecordTimer(const std::string& name, double seconds) {
   GetTimer(name).Record(seconds);
 }
 
+void MetricRegistry::ForEachTimer(
+    const std::function<void(const std::string&, const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, timer] : timers_) fn(name, *timer);
+}
+
 namespace {
 
 /// Order-independent histogram fields only — the deterministic half.
@@ -225,6 +231,7 @@ Status MetricRegistry::WriteSnapshot(const std::string& path) const {
 
 void MetricRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

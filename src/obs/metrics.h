@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -141,6 +142,12 @@ class MetricRegistry {
   /// Shorthand for GetTimer(name).Record(seconds).
   void RecordTimer(const std::string& name, double seconds);
 
+  /// Visits every timer histogram in name order. For bench-side aggregation
+  /// (e.g. summing `*.step_seconds` into a per-step Fit time) without parsing
+  /// a snapshot. The references are valid until the next Reset().
+  void ForEachTimer(
+      const std::function<void(const std::string&, const Histogram&)>& fn) const;
+
   /// Root of this registry's ScopedTimer trace tree.
   TraceNode& trace_root() { return trace_root_; }
 
@@ -157,12 +164,20 @@ class MetricRegistry {
   /// not safe concurrently with metric writes (cached references go stale).
   void Reset();
 
+  /// Bumped by every Reset(). Hot paths that cache Get* references compare this
+  /// against the generation they resolved under and re-resolve on mismatch,
+  /// instead of paying a map lookup (and a std::string build) per step.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   template <typename T>
   T& GetNamed(std::map<std::string, std::unique_ptr<T>>* family,
               const std::string& name);
 
   mutable std::mutex mu_;
+  std::atomic<uint64_t> generation_{0};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

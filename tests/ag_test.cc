@@ -1,9 +1,12 @@
 #include <cmath>
 #include <functional>
+#include <memory>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "ag/ops.h"
+#include "ag/tape.h"
 #include "ag/variable.h"
 #include "base/rng.h"
 #include "gradcheck.h"
@@ -332,6 +335,211 @@ TEST(EdgeCaseTest, ScalarChainOnOneByOne) {
   x.ZeroGrad();
   Backward(Log(Exp(x)));  // Identity: gradient 1.
   EXPECT_NEAR(x.grad()(0, 0), 1.0, 1e-9);
+}
+
+// ---- Fused layer/gate ops: gradcheck every epilogue variant. ----
+
+class FusedActGradTest : public ::testing::TestWithParam<Act> {};
+
+TEST_P(FusedActGradTest, LinearBiasActMatchesNumericalGradient) {
+  const Act act = GetParam();
+  Rng rng(91);
+  Var x = RandomParam(3, 4, rng, 0.5);
+  Var w = RandomParam(4, 5, rng, 0.5);
+  Var b = RandomParam(1, 5, rng, 0.5);
+  ExpectGradCheck([&] { return Sum(Square(LinearBiasAct(x, w, b, act, 0.1))); },
+                  {x, w, b}, 1e-5, 1e-5);
+}
+
+TEST_P(FusedActGradTest, GateBiasActMatchesNumericalGradient) {
+  const Act act = GetParam();
+  Rng rng(92);
+  Var x = RandomParam(3, 4, rng, 0.5);
+  Var wx = RandomParam(4, 5, rng, 0.5);
+  Var h = RandomParam(3, 6, rng, 0.5);
+  Var wh = RandomParam(6, 5, rng, 0.5);
+  Var b = RandomParam(1, 5, rng, 0.5);
+  ExpectGradCheck(
+      [&] { return Sum(Square(GateBiasAct(x, wx, h, wh, b, act, 0.1))); },
+      {x, wx, h, wh, b}, 1e-5, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEpilogues, FusedActGradTest,
+                         ::testing::Values(Act::kNone, Act::kRelu,
+                                           Act::kLeakyRelu, Act::kSigmoid,
+                                           Act::kTanh, Act::kSoftplus),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Act::kNone: return "None";
+                             case Act::kRelu: return "Relu";
+                             case Act::kLeakyRelu: return "LeakyRelu";
+                             case Act::kSigmoid: return "Sigmoid";
+                             case Act::kTanh: return "Tanh";
+                             case Act::kSoftplus: return "Softplus";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(FusedOpGradTest, GateBlendMatchesNumericalGradient) {
+  Rng rng(93);
+  Var z = RandomParam(3, 4, rng, 0.3);
+  Var h = RandomParam(3, 4, rng, 0.7);
+  Var n = RandomParam(3, 4, rng, 0.7);
+  ExpectGradCheck([&] { return Sum(Square(GateBlend(z, h, n))); }, {z, h, n});
+}
+
+TEST(FusedOpGradTest, AddScaledMatchesNumericalGradient) {
+  Rng rng(95);
+  Var a = RandomParam(3, 4, rng);
+  Var b = RandomParam(3, 4, rng);
+  ExpectGradCheck([&] { return Sum(Square(AddScaled(a, b, 0.125))); }, {a, b});
+}
+
+TEST(FusedOpValueTest, AddScaledMatchesUnfusedComposition) {
+  Rng rng(96);
+  Var a = RandomParam(4, 5, rng);
+  Var b = RandomParam(4, 5, rng);
+  const double alpha = 0.37;
+  const Var fused = AddScaled(a, b, alpha);
+  const Var composed = Add(a, ScalarMul(b, alpha));
+  ASSERT_TRUE(fused.value().SameShape(composed.value()));
+  for (int64_t i = 0; i < fused.value().size(); ++i) {
+    // Same add and multiply per element; only the (possible) contraction of
+    // a[i] + alpha * b[i] into one rounding differs between the two forms.
+    EXPECT_NEAR(fused.value()[i], composed.value()[i], 1e-15);
+  }
+}
+
+TEST(FusedOpGradTest, MulAddMatchesNumericalGradient) {
+  Rng rng(94);
+  Var a = RandomParam(2, 3, rng);
+  Var b = RandomParam(2, 3, rng);
+  Var c = RandomParam(2, 3, rng);
+  Var d = RandomParam(2, 3, rng);
+  ExpectGradCheck([&] { return Sum(Square(MulAdd(a, b, c, d))); }, {a, b, c, d});
+}
+
+TEST(FusedOpValueTest, LinearBiasActMatchesUnfusedComposition) {
+  Rng rng(95);
+  Var x = RandomParam(4, 6, rng);
+  Var w = RandomParam(6, 3, rng);
+  Var b = RandomParam(1, 3, rng);
+  const Matrix fused = LinearBiasAct(x, w, b, Act::kTanh).value();
+  const Matrix unfused = Tanh(AddRowVec(MatMul(x, w), b)).value();
+  for (int64_t i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused[i], unfused[i], 1e-12) << "element " << i;
+  }
+}
+
+TEST(FusedOpValueTest, GateBlendMatchesComposition) {
+  Rng rng(96);
+  Var z = RandomParam(3, 3, rng, 0.2);
+  Var h = RandomParam(3, 3, rng);
+  Var n = RandomParam(3, 3, rng);
+  const Matrix fused = GateBlend(z, h, n).value();
+  const Matrix composed =
+      Add(Mul(z, h), Mul(ScalarAdd(Neg(z), 1.0), n)).value();
+  for (int64_t i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused[i], composed[i], 1e-14);
+  }
+}
+
+// ---- Step arena / tape scope behavior. ----
+
+TEST(StepScopeTest, GraphsInsideScopeUsePooledNodes) {
+  ASSERT_EQ(Tape::Active(), nullptr);
+  const StepScope scope;
+  ASSERT_NE(Tape::Active(), nullptr);
+  const Var c = Var::Constant(Matrix(2, 2));
+  EXPECT_TRUE(c.node()->pooled);
+  // Parameters always live on the heap: their values and gradients must
+  // survive the scope for the optimizer.
+  const Var p = Var::Parameter(Matrix(2, 2));
+  EXPECT_FALSE(p.node()->pooled);
+}
+
+TEST(StepScopeTest, GradientsMatchHeapModeExactly) {
+  // The same graph, built pooled and heap, must produce bit-identical
+  // gradients: pooling changes where memory lives, never what is computed.
+  const auto run = [](bool pooled) {
+    Matrix ga, gw;
+    Rng rng(97);
+    Matrix ma(3, 4), mw(4, 2);
+    rng.FillNormal(ma.data(), ma.size());
+    rng.FillNormal(mw.data(), mw.size());
+    Var a = Var::Parameter(ma);
+    Var w = Var::Parameter(mw);
+    {
+      std::unique_ptr<StepScope> scope;
+      if (pooled) scope = std::make_unique<StepScope>();
+      a.ZeroGrad();
+      w.ZeroGrad();
+      Backward(Mean(Square(Tanh(MatMul(a, w)))));
+      ga = a.grad();
+      gw = w.grad();
+    }
+    return std::make_pair(ga, gw);
+  };
+  const auto [heap_a, heap_w] = run(false);
+  const auto [pool_a, pool_w] = run(true);
+  for (int64_t i = 0; i < heap_a.size(); ++i) {
+    EXPECT_EQ(heap_a[i], pool_a[i]) << "a grad " << i;
+  }
+  for (int64_t i = 0; i < heap_w.size(); ++i) {
+    EXPECT_EQ(heap_w[i], pool_w[i]) << "w grad " << i;
+  }
+}
+
+TEST(StepScopeTest, ParameterGradsSurviveScopeExit) {
+  Var p = Var::Parameter(Matrix({{1.0, 2.0}}));
+  {
+    const StepScope scope;
+    p.ZeroGrad();
+    Backward(Sum(Square(p)));
+  }
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(p.grad()(0, 1), 4.0);
+}
+
+TEST(StepScopeTest, ArenaReplaysWithoutGrowthAfterWarmup) {
+  Rng rng(98);
+  Var w = RandomParam(8, 8, rng, 0.3);
+  const Matrix input(4, 8, 0.5);
+  for (int step = 0; step < 5; ++step) {
+    const StepScope scope;
+    w.ZeroGrad();
+    Backward(Mean(Square(Tanh(MatMul(Var::Constant(input), w)))));
+  }
+  // Identical graph shapes replay entirely out of retained chunks: no chunk
+  // growth after the warm-up step is steady-state by definition.
+  const StepScope probe;
+  EXPECT_EQ(Tape::Active()->steady_state_chunk_allocs(), 0);
+}
+
+TEST(StepScopeTest, NestedScopesAreNoOps) {
+  const StepScope outer;
+  Tape* tape = Tape::Active();
+  const Var a = Var::Constant(Matrix(2, 2));
+  {
+    const StepScope inner;
+    EXPECT_EQ(Tape::Active(), tape);
+    const Var b = Var::Constant(Matrix(2, 2));
+    EXPECT_TRUE(b.node()->pooled);
+  }
+  // Inner scope exit must not have reset the tape: `a` is still alive.
+  EXPECT_NE(Tape::Active(), nullptr);
+  EXPECT_GT(Tape::Active()->nodes_since_reset(), 0);
+}
+
+TEST(StepScopeTest, DisabledArenaFallsBackToHeap) {
+  SetArenaEnabled(false);
+  {
+    const StepScope scope;
+    EXPECT_EQ(Tape::Active(), nullptr);
+    const Var c = Var::Constant(Matrix(2, 2));
+    EXPECT_FALSE(c.node()->pooled);
+  }
+  SetArenaEnabled(true);
 }
 
 }  // namespace

@@ -210,6 +210,281 @@ TEST(KernelsBackendTest, BackendNameMatchesSimdEnabled) {
                kernels::SimdEnabled() ? "simd-v4" : "scalar-v4");
 }
 
+/// Restores the env/cpuid default dispatch when a forcing test exits.
+class ScopedDispatch {
+ public:
+  explicit ScopedDispatch(kernels::DispatchMode mode) {
+    kernels::ForceDispatch(mode);
+  }
+  ~ScopedDispatch() { kernels::ForceDispatch(kernels::DispatchMode::kAuto); }
+};
+
+TEST(KernelsDispatchTest, ForceScalarRoutesToScalarBackend) {
+  ScopedDispatch scoped(kernels::DispatchMode::kScalar);
+  EXPECT_EQ(kernels::ResolvedDispatch(), kernels::DispatchMode::kScalar);
+  EXPECT_FALSE(kernels::SimdEnabled());
+  EXPECT_STREQ(kernels::BackendName(), "scalar-v4");
+}
+
+TEST(KernelsDispatchTest, ForceSimdRoutesToSimdOrFallsBackWhenNotCompiled) {
+  ScopedDispatch scoped(kernels::DispatchMode::kSimd);
+  if (kernels::SimdCompiled()) {
+    EXPECT_EQ(kernels::ResolvedDispatch(), kernels::DispatchMode::kSimd);
+    EXPECT_TRUE(kernels::SimdEnabled());
+    EXPECT_STREQ(kernels::BackendName(), "simd-v4");
+  } else {
+    EXPECT_EQ(kernels::ResolvedDispatch(), kernels::DispatchMode::kScalar);
+    EXPECT_STREQ(kernels::BackendName(), "scalar-v4");
+  }
+}
+
+TEST(KernelsDispatchTest, AutoNeverResolvesToAuto) {
+  kernels::ForceDispatch(kernels::DispatchMode::kAuto);
+  EXPECT_NE(kernels::ResolvedDispatch(), kernels::DispatchMode::kAuto);
+}
+
+TEST(KernelsDispatchTest, GemmBitIdenticalAcrossForcedBackends) {
+  const Shape s{37, 29, 53};
+  const auto a = RandomVec(s.m * s.k, 19);
+  const auto b = RandomVec(s.k * s.n, 20);
+  std::vector<double> scalar_out(static_cast<size_t>(s.m * s.n), 0.0);
+  std::vector<double> simd_out = scalar_out;
+  {
+    ScopedDispatch scoped(kernels::DispatchMode::kScalar);
+    kernels::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                  scalar_out.data(), s.n);
+  }
+  {
+    ScopedDispatch scoped(kernels::DispatchMode::kSimd);
+    kernels::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, simd_out.data(),
+                  s.n);
+  }
+  EXPECT_TRUE(BitEqual(scalar_out, simd_out));
+}
+
+// ---- Fused epilogues and element-wise lanes. --------------------------------
+
+using kernels::Act;
+
+constexpr double kLeak = 0.1;
+
+/// Reference activation matching the kernel's formulas (incl. the stable
+/// sigmoid branch), so comparisons can be exact where no reordering exists.
+double RefAct(Act act, double x) {
+  switch (act) {
+    case Act::kNone:
+      return x;
+    case Act::kRelu:
+      return x > 0 ? x : 0.0;
+    case Act::kLeakyRelu:
+      return x > 0 ? x : kLeak * x;
+    case Act::kSigmoid:
+      return x >= 0 ? 1.0 / (1.0 + std::exp(-x))
+                    : std::exp(x) / (1.0 + std::exp(x));
+    case Act::kTanh:
+      return std::tanh(x);
+    case Act::kSoftplus:
+      return std::max(x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
+  }
+  return x;
+}
+
+const Act kAllActs[] = {Act::kNone,    Act::kRelu, Act::kLeakyRelu,
+                        Act::kSigmoid, Act::kTanh, Act::kSoftplus};
+
+TEST(KernelsEpilogueTest, ScaleMatchesElementwiseReferenceBitwise) {
+  for (int64_t n : {0, 1, 5, 64, 131}) {
+    const auto x0 = RandomVec(n, 21);
+    auto want = x0;
+    for (auto& v : want) v *= -0.37;
+    auto got = x0;
+    kernels::Scale(n, -0.37, got.data());
+    EXPECT_TRUE(BitEqual(want, got)) << n;
+  }
+}
+
+TEST(KernelsEpilogueTest, BiasActInPlaceMatchesReferenceAndStashesPre) {
+  const int64_t m = 7, n = 13, ldc = 16;  // ldc > n exercises the stride.
+  for (Act act : kAllActs) {
+    auto c = RandomVec(m * ldc, 22);
+    const auto c0 = c;
+    const auto bias = RandomVec(n, 23);
+    std::vector<double> pre(static_cast<size_t>(m * ldc), -77.0);
+    kernels::BiasActInPlace(m, n, c.data(), ldc, bias.data(), act, kLeak,
+                            pre.data());
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        const double want_pre = c0[i * ldc + j] + bias[j];
+        EXPECT_EQ(pre[i * ldc + j], want_pre);
+        EXPECT_EQ(c[i * ldc + j], RefAct(act, want_pre));
+      }
+      // Padding between rows must be untouched.
+      for (int64_t j = n; j < ldc; ++j) EXPECT_EQ(c[i * ldc + j], c0[i * ldc + j]);
+    }
+  }
+}
+
+TEST(KernelsEpilogueTest, BiasActInPlaceNullBiasAndNullPre) {
+  const int64_t m = 3, n = 5;
+  auto c = RandomVec(m * n, 24);
+  const auto c0 = c;
+  kernels::BiasActInPlace(m, n, c.data(), n, nullptr, Act::kTanh, 0.0, nullptr);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], std::tanh(c0[i]));
+}
+
+TEST(KernelsEpilogueTest, GemmBiasActMatchesGemmThenEpilogue) {
+  for (const Shape& s : {Shape{3, 5, 4}, Shape{13, 29, 31}, Shape{65, 33, 129}}) {
+    const auto a = RandomVec(s.m * s.k, 25);
+    const auto b = RandomVec(s.k * s.n, 26);
+    const auto bias = RandomVec(s.n, 27);
+    for (Act act : kAllActs) {
+      std::vector<double> want(static_cast<size_t>(s.m * s.n), 0.0);
+      kernels::Gemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, want.data(),
+                    s.n);
+      std::vector<double> want_pre = want;
+      kernels::BiasActInPlace(s.m, s.n, want.data(), s.n, bias.data(), act,
+                              kLeak, want_pre.data());
+      std::vector<double> got(static_cast<size_t>(s.m * s.n), 99.0);  // Not 0:
+      // GemmBiasAct must zero C itself (it is = not +=).
+      std::vector<double> got_pre(got.size(), 0.0);
+      kernels::GemmBiasAct(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                           bias.data(), got.data(), s.n, act, kLeak,
+                           got_pre.data());
+      EXPECT_TRUE(BitEqual(want, got)) << static_cast<int>(act);
+      EXPECT_TRUE(BitEqual(want_pre, got_pre)) << static_cast<int>(act);
+    }
+  }
+}
+
+TEST(KernelsEpilogueTest, GemmBiasActBitIdenticalAcrossForcedBackends) {
+  const Shape s{31, 27, 45};
+  const auto a = RandomVec(s.m * s.k, 28);
+  const auto b = RandomVec(s.k * s.n, 29);
+  const auto bias = RandomVec(s.n, 30);
+  for (Act act : kAllActs) {
+    std::vector<double> scalar_out(static_cast<size_t>(s.m * s.n), 0.0);
+    std::vector<double> simd_out = scalar_out;
+    {
+      ScopedDispatch scoped(kernels::DispatchMode::kScalar);
+      kernels::GemmBiasAct(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                           bias.data(), scalar_out.data(), s.n, act, kLeak,
+                           nullptr);
+    }
+    {
+      ScopedDispatch scoped(kernels::DispatchMode::kSimd);
+      kernels::GemmBiasAct(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                           bias.data(), simd_out.data(), s.n, act, kLeak,
+                           nullptr);
+    }
+    EXPECT_TRUE(BitEqual(scalar_out, simd_out)) << static_cast<int>(act);
+  }
+}
+
+TEST(KernelsEpilogueTest, ActBackwardMulMatchesAnalyticDerivatives) {
+  const int64_t n = 257;
+  const auto pre = RandomVec(n, 31);
+  const auto g = RandomVec(n, 32);
+  for (Act act : kAllActs) {
+    std::vector<double> out(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+      out[static_cast<size_t>(i)] = RefAct(act, pre[static_cast<size_t>(i)]);
+    std::vector<double> dpre(static_cast<size_t>(n), 0.0);
+    kernels::ActBackwardMul(act, kLeak, n, g.data(), out.data(), pre.data(),
+                            dpre.data());
+    for (int64_t i = 0; i < n; ++i) {
+      const double x = pre[static_cast<size_t>(i)];
+      const double y = out[static_cast<size_t>(i)];
+      double deriv = 1.0;
+      switch (act) {
+        case Act::kNone:
+          deriv = 1.0;
+          break;
+        case Act::kRelu:
+          deriv = x > 0 ? 1.0 : 0.0;
+          break;
+        case Act::kLeakyRelu:
+          deriv = x > 0 ? 1.0 : kLeak;
+          break;
+        case Act::kSigmoid:
+          deriv = y * (1.0 - y);
+          break;
+        case Act::kTanh:
+          deriv = 1.0 - y * y;
+          break;
+        case Act::kSoftplus:
+          deriv = RefAct(Act::kSigmoid, x);
+          break;
+      }
+      EXPECT_NEAR(dpre[static_cast<size_t>(i)], g[static_cast<size_t>(i)] * deriv,
+                  1e-15)
+          << static_cast<int>(act) << " at " << i;
+    }
+  }
+}
+
+TEST(KernelsEpilogueTest, ColSumAccumMatchesNaiveColumnSums) {
+  const int64_t m = 9, n = 7, lds = 11;
+  const auto src = RandomVec(m * lds, 33);
+  const auto dst0 = RandomVec(n, 34);  // Nonzero dst exercises +=.
+  auto want = dst0;
+  for (int64_t j = 0; j < n; ++j) {
+    double s = want[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < m; ++i) s += src[static_cast<size_t>(i * lds + j)];
+    want[static_cast<size_t>(j)] = s;
+  }
+  auto got = dst0;
+  kernels::ColSumAccum(m, n, src.data(), lds, got.data());
+  EXPECT_TRUE(BitEqual(want, got));
+}
+
+TEST(KernelsOptimizerTest, AdamUpdateMatchesScalarRecurrence) {
+  const int64_t n = 37;
+  const double lr = 1e-3, beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  const auto g = RandomVec(n, 35);
+  auto m_got = RandomVec(n, 36);
+  auto v_got = RandomVec(n, 37);
+  for (auto& v : v_got) v = std::fabs(v);  // Second moments are nonnegative.
+  auto p_got = RandomVec(n, 38);
+  auto m_want = m_got, v_want = v_got, p_want = p_got;
+  const double bc1 = 1.0 - std::pow(beta1, 5), bc2 = 1.0 - std::pow(beta2, 5);
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t s = static_cast<size_t>(i);
+    m_want[s] = beta1 * m_want[s] + (1.0 - beta1) * g[s];
+    v_want[s] = beta2 * v_want[s] + (1.0 - beta2) * g[s] * g[s];
+    p_want[s] -= lr * (m_want[s] / bc1) / (std::sqrt(v_want[s] / bc2) + eps);
+  }
+  kernels::AdamUpdate(n, lr, beta1, beta2, eps, bc1, bc2, g.data(),
+                      m_got.data(), v_got.data(), p_got.data());
+  // The kernels TU may be compiled with FMA contraction (see GemmUsesFma),
+  // this TU is not — so the comparison is tight-tolerance, not bitwise. The
+  // lane itself is deterministic by construction (one implementation, no
+  // reordering), which the dispatch/thread-identity tests cover elsewhere.
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    EXPECT_NEAR(m_got[i], m_want[i], 1e-14);
+    EXPECT_NEAR(v_got[i], v_want[i], 1e-14);
+    EXPECT_NEAR(p_got[i], p_want[i], 1e-14);
+  }
+}
+
+TEST(KernelsOptimizerTest, SgdMomentumUpdateMatchesScalarRecurrence) {
+  const int64_t n = 29;
+  const double lr = 0.01, momentum = 0.9;
+  const auto g = RandomVec(n, 39);
+  auto vel_got = RandomVec(n, 40);
+  auto p_got = RandomVec(n, 41);
+  auto vel_want = vel_got, p_want = p_got;
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    vel_want[i] = momentum * vel_want[i] - lr * g[i];
+    p_want[i] += vel_want[i];
+  }
+  kernels::SgdMomentumUpdate(n, lr, momentum, g.data(), vel_got.data(),
+                             p_got.data());
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    EXPECT_NEAR(vel_got[i], vel_want[i], 1e-14);
+    EXPECT_NEAR(p_got[i], p_want[i], 1e-14);
+  }
+}
+
 TEST(AlignedBufferTest, DataIsCacheLineAlignedAndMoveTransfersOwnership) {
   base::AlignedBuffer<double> buf(37);
   ASSERT_NE(buf.data(), nullptr);

@@ -265,6 +265,136 @@ TEST(OptimizerTest, ClipParameterValuesClamps) {
   EXPECT_NEAR(p.value()(0, 2), 0.05, 1e-12);
 }
 
+/// Runs a forward under a forced fused/unfused setting, restoring on exit.
+class ScopedFusion {
+ public:
+  explicit ScopedFusion(bool enabled) : prev_(FusedForward()) {
+    SetFusedForward(enabled);
+  }
+  ~ScopedFusion() { SetFusedForward(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(FusionTest, DenseForwardMatchesUnfusedComposition) {
+  Rng rng(31);
+  for (Activation act : {Activation::kNone, Activation::kRelu,
+                         Activation::kLeakyRelu, Activation::kSigmoid,
+                         Activation::kTanh, Activation::kSoftplus}) {
+    Dense layer(5, 7, rng, act);
+    Matrix xm(4, 5);
+    rng.FillNormal(xm.data(), xm.size());
+    const Var x = Var::Constant(xm);
+    Matrix fused, unfused;
+    {
+      ScopedFusion scoped(true);
+      fused = layer.Forward(x).value();
+    }
+    {
+      ScopedFusion scoped(false);
+      unfused = layer.Forward(x).value();
+    }
+    ASSERT_EQ(fused.rows(), unfused.rows());
+    ASSERT_EQ(fused.cols(), unfused.cols());
+    // Fused epilogues change GEMM+add association, so equality is numeric,
+    // not bitwise; each path individually is deterministic.
+    for (int64_t i = 0; i < fused.size(); ++i) {
+      EXPECT_NEAR(fused.data()[i], unfused.data()[i], 1e-12)
+          << static_cast<int>(act);
+    }
+  }
+}
+
+TEST(FusionTest, GruForwardMatchesUnfusedComposition) {
+  Rng rng(32);
+  GruCell cell(4, 6, rng);
+  Matrix xm(3, 4);
+  rng.FillNormal(xm.data(), xm.size());
+  const Var x = Var::Constant(xm);
+  Matrix fused, unfused;
+  {
+    ScopedFusion scoped(true);
+    Var h = cell.InitialState(3);
+    h = cell.Forward(x, h);
+    fused = cell.Forward(x, h).value();
+  }
+  {
+    ScopedFusion scoped(false);
+    Var h = cell.InitialState(3);
+    h = cell.Forward(x, h);
+    unfused = cell.Forward(x, h).value();
+  }
+  for (int64_t i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused.data()[i], unfused.data()[i], 1e-12);
+  }
+}
+
+TEST(FusionTest, LstmForwardMatchesUnfusedComposition) {
+  Rng rng(33);
+  LstmCell cell(4, 5, rng);
+  Matrix xm(3, 4);
+  rng.FillNormal(xm.data(), xm.size());
+  const Var x = Var::Constant(xm);
+  Matrix fused_h, fused_c, unfused_h, unfused_c;
+  {
+    ScopedFusion scoped(true);
+    LstmCell::State s = cell.InitialState(3);
+    s = cell.Forward(x, s);
+    s = cell.Forward(x, s);
+    fused_h = s.h.value();
+    fused_c = s.c.value();
+  }
+  {
+    ScopedFusion scoped(false);
+    LstmCell::State s = cell.InitialState(3);
+    s = cell.Forward(x, s);
+    s = cell.Forward(x, s);
+    unfused_h = s.h.value();
+    unfused_c = s.c.value();
+  }
+  for (int64_t i = 0; i < fused_h.size(); ++i) {
+    EXPECT_NEAR(fused_h.data()[i], unfused_h.data()[i], 1e-12);
+    EXPECT_NEAR(fused_c.data()[i], unfused_c.data()[i], 1e-12);
+  }
+}
+
+TEST(FusionTest, FusedGruGradCheck) {
+  Rng rng(34);
+  ScopedFusion scoped(true);
+  GruCell cell(2, 3, rng);
+  Matrix xm(2, 2);
+  rng.FillNormal(xm.data(), xm.size());
+  const Var x = Var::Constant(xm);
+  const Var target = Var::Constant(Matrix::Constant(2, 3, 0.1));
+  ExpectGradCheck(
+      [&] {
+        Var h = cell.InitialState(2);
+        h = cell.Forward(x, h);
+        h = cell.Forward(x, h);
+        return ag::MseLoss(h, target);
+      },
+      cell.Parameters(), 1e-5, 1e-4);
+}
+
+TEST(FusionTest, FusedLstmGradCheck) {
+  Rng rng(35);
+  ScopedFusion scoped(true);
+  LstmCell cell(2, 3, rng);
+  Matrix xm(2, 2);
+  rng.FillNormal(xm.data(), xm.size());
+  const Var x = Var::Constant(xm);
+  const Var target = Var::Constant(Matrix::Constant(2, 3, 0.1));
+  ExpectGradCheck(
+      [&] {
+        LstmCell::State s = cell.InitialState(2);
+        s = cell.Forward(x, s);
+        s = cell.Forward(x, s);
+        return ag::MseLoss(s.h, target);
+      },
+      cell.Parameters(), 1e-5, 1e-4);
+}
+
 TEST(ModuleTest, CollectParametersGathersAll) {
   Rng rng(11);
   Dense d1(2, 3, rng), d2(3, 1, rng);
