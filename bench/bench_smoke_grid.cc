@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/fnv.h"
 #include "bench_util.h"
 #include "core/method.h"
 #include "data/simulators.h"
@@ -61,6 +62,24 @@ class SmokeMethod : public core::TsgMethod {
   }
   std::vector<linalg::Matrix> Generate(int64_t count, Rng& rng) const override {
     return inner_->Generate(count, rng);
+  }
+  std::vector<std::vector<linalg::Matrix>> GenerateBatch(
+      const std::vector<core::GenRequest>& requests) const override {
+    return inner_->GenerateBatch(requests);
+  }
+  StatusOr<core::MethodSnapshot> Snapshot() const override {
+    return inner_->Snapshot();
+  }
+  Status Restore(const core::MethodSnapshot& snapshot) override {
+    return inner_->Restore(snapshot);
+  }
+  uint64_t HyperparameterDigest() const override {
+    // Mix the wrapper name in so SmokeVAE and TimeVAE artifacts never collide
+    // even though the fitted state is identical.
+    return base::Fnv64()
+        .String(name_)
+        .U64(inner_->HyperparameterDigest())
+        .digest();
   }
   std::string name() const override { return name_; }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <set>
 #include <sstream>
 
@@ -17,6 +18,7 @@
 #include "methods/factory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/artifact_store.h"
 
 namespace tsg::bench {
 
@@ -64,6 +66,9 @@ BenchConfig LoadConfig() {
   }
   if (const char* out = std::getenv("TSGBENCH_OUT")) {
     config.out_dir = out;
+  }
+  if (const char* store_dir = std::getenv("TSGBENCH_STORE_DIR")) {
+    config.store_dir = store_dir;
   }
   std::filesystem::create_directories(config.out_dir);
   return config;
@@ -335,6 +340,16 @@ GridResult RunGrid(const BenchConfig& config,
   options.max_eval_samples = config.max_eval_samples();
   options.embedder.epochs = std::max(4, static_cast<int>(10 * config.scale));
   options.seed = config.seed;
+  // With a store configured, every cell checks for a prior fitted model before
+  // training and publishes its model after. ArtifactStore is stateless over
+  // atomic file operations, so the concurrent cells below can share it.
+  std::unique_ptr<store::ArtifactStore> artifact_store;
+  if (!config.store_dir.empty()) {
+    artifact_store = std::make_unique<store::ArtifactStore>(config.store_dir);
+    options.store = artifact_store.get();
+    std::fprintf(stderr, "[grid] artifact store at %s\n",
+                 config.store_dir.c_str());
+  }
   core::Harness harness(options);
 
   std::filesystem::create_directories(CheckpointDir(config));

@@ -19,6 +19,11 @@ struct BenchConfig {
   double scale = 1.0;          ///< TSGBENCH_SCALE multiplier.
   uint64_t seed = 42;          ///< TSGBENCH_SEED.
   std::string out_dir = "bench_out";  ///< TSGBENCH_OUT.
+  /// TSGBENCH_STORE_DIR: trained-model artifact store directory. When set, grid
+  /// cells consult the store before fitting (hit -> restore, zero training) and
+  /// publish their fitted model after training, so a second run against the
+  /// same store retrains nothing. Empty = store disabled.
+  std::string store_dir;
 
   double dataset_scale() const { return 0.02 * scale; }
   double epoch_scale() const { return 0.2 * scale; }
@@ -26,7 +31,8 @@ struct BenchConfig {
   int64_t max_eval_samples() const { return scale >= 2.0 ? 256 : 96; }
 };
 
-/// Reads TSGBENCH_SCALE / TSGBENCH_SEED / TSGBENCH_OUT and ensures out_dir exists.
+/// Reads TSGBENCH_SCALE / TSGBENCH_SEED / TSGBENCH_OUT / TSGBENCH_STORE_DIR and
+/// ensures out_dir exists.
 BenchConfig LoadConfig();
 
 /// Strips bench-harness flags from argv before any other argument parsing (call

@@ -1,0 +1,65 @@
+#ifndef TSG_BASE_FNV_H_
+#define TSG_BASE_FNV_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace tsg::base {
+
+/// Incremental FNV-1a 64-bit hash. Used wherever the system needs a cheap,
+/// dependency-free, platform-stable content fingerprint: dataset identity,
+/// hyperparameter digests, artifact-store keys, and payload checksums. Not
+/// cryptographic — it guards against corruption and accidental collisions, not
+/// adversaries.
+class Fnv64 {
+ public:
+  static constexpr uint64_t kOffset = 1469598103934665603ULL;
+  static constexpr uint64_t kPrime = 1099511628211ULL;
+
+  /// Folds `len` raw bytes into the hash.
+  Fnv64& Bytes(const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      state_ ^= static_cast<uint64_t>(p[i]);
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv64& String(std::string_view s) { return Bytes(s.data(), s.size()); }
+
+  /// Integers hash as 8 explicit little-endian bytes so the digest does not
+  /// depend on host endianness or integer width quirks.
+  Fnv64& U64(uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    return Bytes(bytes, sizeof(bytes));
+  }
+
+  Fnv64& I64(int64_t v) { return U64(static_cast<uint64_t>(v)); }
+
+  /// Doubles hash by bit pattern, so the fingerprint distinguishes values that
+  /// compare equal but differ in representation (-0.0 vs 0.0) and round-trips
+  /// exactly with the hex-double serialization format.
+  Fnv64& F64(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return U64(bits);
+  }
+
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = kOffset;
+};
+
+/// One-shot convenience over a byte range.
+inline uint64_t Fnv64Bytes(const void* data, size_t len) {
+  return Fnv64().Bytes(data, len).digest();
+}
+
+}  // namespace tsg::base
+
+#endif  // TSG_BASE_FNV_H_

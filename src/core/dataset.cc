@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/fnv.h"
 
 namespace tsg::core {
 
@@ -61,6 +62,16 @@ Matrix Dataset::Flatten() const {
       for (int64_t j = 0; j < n; ++j) out(i, t * n + j) = s(t, j);
   }
   return out;
+}
+
+uint64_t Dataset::Fingerprint() const {
+  base::Fnv64 hash;
+  hash.String(name_);
+  hash.I64(num_samples()).I64(seq_len()).I64(num_features());
+  for (const Matrix& s : samples_) {
+    for (int64_t i = 0; i < s.size(); ++i) hash.F64(s[i]);
+  }
+  return hash.digest();
 }
 
 std::vector<double> Dataset::FeatureValues(int64_t j) const {

@@ -47,6 +47,12 @@ class Dataset {
   /// Flattens every sample to a row -> (R x l*N) matrix (t-SNE / embedding input).
   Matrix Flatten() const;
 
+  /// Content fingerprint (FNV-1a 64 over name, shape, and every sample's bit
+  /// pattern, in order). Two datasets share a fingerprint exactly when a method
+  /// fit on them would see identical training input — the dataset component of
+  /// an artifact-store key.
+  uint64_t Fingerprint() const;
+
   /// All values of feature `j` across samples and time, in (sample, time) order.
   std::vector<double> FeatureValues(int64_t j) const;
   /// Values of feature `j` at time step `t` across samples.

@@ -129,12 +129,41 @@ StatusOr<MethodRunResult> Harness::RunMethod(TsgMethod& method,
   result.dataset = train.name();
   const std::string cell = result.method + " / " + result.dataset;
 
-  if (options_.verbosity > 0) {
-    std::fprintf(stderr, "[%s] fitting...\n", cell.c_str());
+  // Cache consult: a stored snapshot for this exact (method code, data, training
+  // schedule) identity replaces the Fit entirely. Restore failures of any kind
+  // fall through to training — a corrupt or stale artifact is then overwritten
+  // by the fresh fit's Save below, so the store self-heals.
+  ModelKey key;
+  bool restored = false;
+  if (options_.store != nullptr) {
+    key.method = result.method;
+    key.hyper_digest = method.HyperparameterDigest();
+    key.dataset_fingerprint = train.Fingerprint();
+    key.seed = options_.fit.seed;
+    key.epoch_scale = options_.fit.epoch_scale;
+    key.batch_size = options_.fit.batch_size;
+    StatusOr<MethodSnapshot> snapshot = options_.store->Load(key);
+    if (snapshot.ok()) {
+      const Status restore_status = method.Restore(snapshot.value());
+      if (restore_status.ok()) {
+        restored = true;
+        metrics.GetCounter("harness.store.restored").Add();
+        if (options_.verbosity > 0) {
+          std::fprintf(stderr, "[%s] restored from store\n", cell.c_str());
+        }
+      } else {
+        metrics.GetCounter("harness.store.restore_failed").Add();
+      }
+    }
   }
-  Stopwatch watch;
-  {
+
+  if (!restored) {
+    if (options_.verbosity > 0) {
+      std::fprintf(stderr, "[%s] fitting...\n", cell.c_str());
+    }
+    Stopwatch watch;
     obs::ScopedTimer fit_span("fit");
+    metrics.GetCounter("harness.fit_calls").Add();
     const Status fit_status = method.Fit(train, options_.fit);
     result.fit_seconds = watch.ElapsedSeconds();
     metrics.RecordTimer("harness.fit_seconds." + result.method,
@@ -143,6 +172,21 @@ StatusOr<MethodRunResult> Harness::RunMethod(TsgMethod& method,
       metrics.GetCounter("harness.errors.fit").Add();
       return Status(fit_status.code(),
                     cell + ": fit failed: " + fit_status.message());
+    }
+    if (options_.store != nullptr) {
+      // Publish the fresh fit. Methods without snapshot support report
+      // kFailedPrecondition — that is "not cacheable", not an error.
+      StatusOr<MethodSnapshot> snapshot = method.Snapshot();
+      if (snapshot.ok()) {
+        const Status save_status = options_.store->Save(key, snapshot.value());
+        if (!save_status.ok()) {
+          metrics.GetCounter("harness.store.save_failed").Add();
+          std::fprintf(stderr, "[%s] store save failed: %s\n", cell.c_str(),
+                       save_status.ToString().c_str());
+        }
+      } else if (snapshot.status().code() != StatusCode::kFailedPrecondition) {
+        metrics.GetCounter("harness.store.snapshot_failed").Add();
+      }
     }
   }
 

@@ -30,6 +30,13 @@ struct HarnessOptions {
   embed::SequenceEmbedder::Options embedder;
   uint64_t seed = 42;
   int verbosity = 0;
+  /// Optional trained-model artifact store (not owned; must outlive the
+  /// harness). When set, RunMethod consults it before fitting: a valid cached
+  /// snapshot restores the method instead of training it, and a fresh fit
+  /// publishes its snapshot back. Because restored parameters round-trip
+  /// bit-exactly and generation randomness is seeded independently of the fit,
+  /// cache-served cells score byte-identically to freshly trained ones.
+  ModelStore* store = nullptr;
 };
 
 /// One completed (method, dataset) cell: fit wall time (M8) plus the aggregated

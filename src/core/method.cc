@@ -2,7 +2,36 @@
 
 #include <algorithm>
 
+#include "base/fnv.h"
+
 namespace tsg::core {
+
+std::vector<std::vector<Matrix>> TsgMethod::GenerateBatch(
+    const std::vector<GenRequest>& requests) const {
+  // Reference semantics for the batched path: each request gets its own Rng
+  // stream, so the output is independent of how requests are grouped. Packed
+  // overrides must reproduce these bytes exactly.
+  std::vector<std::vector<Matrix>> out;
+  out.reserve(requests.size());
+  for (const GenRequest& request : requests) {
+    Rng rng(request.seed);
+    out.push_back(Generate(request.count, rng));
+  }
+  return out;
+}
+
+StatusOr<MethodSnapshot> TsgMethod::Snapshot() const {
+  return Status::FailedPrecondition(name() + ": snapshot not supported");
+}
+
+Status TsgMethod::Restore(const MethodSnapshot& snapshot) {
+  (void)snapshot;
+  return Status::FailedPrecondition(name() + ": restore not supported");
+}
+
+uint64_t TsgMethod::HyperparameterDigest() const {
+  return base::Fnv64().String(name()).digest();
+}
 
 void ClampToUnit(Matrix& sample) {
   for (int64_t i = 0; i < sample.size(); ++i) {

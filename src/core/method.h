@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/rng.h"
@@ -23,6 +24,57 @@ struct FitOptions {
   uint64_t seed = 42;
   /// 0 = silent, 1 = per-phase progress lines on stderr.
   int verbosity = 0;
+};
+
+/// The complete fitted state of a method, as data: scalar configuration (dims,
+/// architecture sizes — everything Restore needs to rebuild the networks) plus
+/// the ordered tensor list (trainable parameters, followed by any non-parameter
+/// state such as VQ codebooks). A restored method must Generate bit-identically
+/// to the instance that produced the snapshot.
+struct MethodSnapshot {
+  /// Ordered (key, value) pairs; values are whitespace-free tokens.
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<Matrix> params;
+};
+
+/// Identity of one trained model in the artifact store. Two fits agree on every
+/// field here exactly when they would produce bit-identical models, so the key
+/// is safe to use as a cache address: method + hyperparameter digest pin the
+/// code, dataset fingerprint pins the training data, and the FitOptions budget
+/// knobs pin the training schedule.
+struct ModelKey {
+  std::string method;
+  /// TsgMethod::HyperparameterDigest() — bumps when a method's architecture or
+  /// training hyperparameters change.
+  uint64_t hyper_digest = 0;
+  /// Dataset::Fingerprint() of the training split.
+  uint64_t dataset_fingerprint = 0;
+  uint64_t seed = 0;
+  double epoch_scale = 1.0;
+  int64_t batch_size = 0;
+};
+
+/// Persistence interface the harness trains against. Implemented by
+/// store::ArtifactStore; kept abstract here so core does not depend on the
+/// store library.
+class ModelStore {
+ public:
+  virtual ~ModelStore() = default;
+
+  /// Fetches the snapshot for `key`. kNotFound = cache miss (train and Save);
+  /// other errors mean the artifact exists but is unusable (corrupt, version
+  /// skew) — callers should retrain and overwrite.
+  virtual StatusOr<MethodSnapshot> Load(const ModelKey& key) = 0;
+
+  /// Publishes a snapshot under `key`, atomically replacing any prior artifact.
+  virtual Status Save(const ModelKey& key, const MethodSnapshot& snapshot) = 0;
+};
+
+/// One generation request in a batched Generate call: `count` series drawn from
+/// a fresh Rng seeded with `seed`.
+struct GenRequest {
+  int64_t count = 0;
+  uint64_t seed = 0;
 };
 
 /// Interface every TSG method (A1-A10) implements. The lifecycle is
@@ -47,6 +99,30 @@ class TsgMethod {
   /// randomness comes from `rng`, so a fixed (fit, seed) pair reproduces the
   /// samples bit-identically.
   virtual std::vector<Matrix> Generate(int64_t count, Rng& rng) const = 0;
+
+  /// Serves many generation requests at once. The RNG contract is a stream
+  /// split by request: element j of the result is exactly the series
+  /// `Generate(requests[j].count, rng_j)` would produce with a fresh
+  /// `Rng rng_j(requests[j].seed)` — bit-identical regardless of how requests
+  /// are batched together. The base implementation is that per-request loop;
+  /// methods override it with a packed path (one forward pass over all
+  /// requested series per step) that must preserve the same bytes.
+  virtual std::vector<std::vector<Matrix>> GenerateBatch(
+      const std::vector<GenRequest>& requests) const;
+
+  /// Captures the fitted state for the artifact store. Default: not supported
+  /// (kFailedPrecondition) — the harness then simply skips caching.
+  virtual StatusOr<MethodSnapshot> Snapshot() const;
+
+  /// Rebuilds the fitted state from a snapshot, replacing any current fit.
+  /// After an OK Restore, Generate is bit-identical to the snapshotted
+  /// instance. Default: not supported (kFailedPrecondition).
+  virtual Status Restore(const MethodSnapshot& snapshot);
+
+  /// Stable digest of the method's architecture and training hyperparameters.
+  /// Part of the artifact-store key: changing a method's constants must change
+  /// its digest, or stale cached models would shadow the new code.
+  virtual uint64_t HyperparameterDigest() const;
 
   /// Stable display name ("TimeGAN", "TimeVAE", ...).
   virtual std::string name() const = 0;

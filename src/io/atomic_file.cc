@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 namespace tsg::io {
 
@@ -24,6 +25,15 @@ Status WriteFileAtomic(const std::string& path, const std::string& content) {
     return Status::IoError("rename failed: " + tmp + " -> " + path);
   }
   return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open for reading: " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return content;
 }
 
 }  // namespace tsg::io

@@ -13,6 +13,11 @@ namespace tsg::io {
 /// (`<path>.tmp`), so the rename stays on one filesystem and is atomic on POSIX.
 Status WriteFileAtomic(const std::string& path, const std::string& content);
 
+/// Reads `path` in full (binary, no newline translation). Returns kNotFound when
+/// the file does not exist so callers can distinguish "no artifact yet" from a
+/// real IO failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
 }  // namespace tsg::io
 
 #endif  // TSG_IO_ATOMIC_FILE_H_

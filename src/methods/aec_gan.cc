@@ -1,6 +1,7 @@
 #include "methods/aec_gan.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "ag/ops.h"
 #include "methods/common.h"
@@ -78,19 +79,22 @@ struct AecGan::Nets {
 
   /// Unrolls the autoregressive generator from `context` steps (each (batch x N)),
   /// producing `gen_len` further steps refined by the error-correction module.
+  /// `noise` yields the next (batch x noise_dim) draw; abstracting the source
+  /// lets the batched path substitute packed per-request streams while keeping
+  /// the draw order identical to the sequential path.
   std::vector<Var> GenerateTail(const std::vector<Var>& context, int64_t gen_len,
-                                int64_t noise_dim, Rng& rng) const {
+                                const std::function<Var()>& noise) const {
     const int64_t batch = context[0].rows();
     const int64_t n = context[0].cols();
     // Warm the cell on the context, then feed generated steps back as inputs.
     Var state = ar_cell.InitialState(batch);
     for (const Var& c : context) {
-      state = ar_cell.Forward(ConcatCols(c, Randn(batch, noise_dim, rng)), state);
+      state = ar_cell.Forward(ConcatCols(c, noise()), state);
     }
     std::vector<Var> raw;
     raw.push_back(ar_head.Forward(state));
     for (int64_t t = 1; t < gen_len; ++t) {
-      const Var input = ConcatCols(raw.back(), Randn(batch, noise_dim, rng));
+      const Var input = ConcatCols(raw.back(), noise());
       state = ar_cell.Forward(input, state);
       raw.push_back(ar_head.Forward(state));
     }
@@ -133,10 +137,10 @@ Status AecGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
   context_len_ = std::min(ContextLengthFor(seq_len_), seq_len_ - 1);
   noise_dim_ = 8;
   const int64_t gen_len = seq_len_ - context_len_;
-  const int64_t hidden = std::clamp<int64_t>(2 * num_features_, 16, 36);
+  hidden_ = std::clamp<int64_t>(2 * num_features_, 16, 36);
 
   Rng rng(options.seed ^ 0xAEC6);
-  nets_ = std::make_unique<Nets>(num_features_, hidden, noise_dim_, context_len_,
+  nets_ = std::make_unique<Nets>(num_features_, hidden_, noise_dim_, context_len_,
                                  gen_len, rng);
 
   nn::Adam g_opt(nn::CollectParameters({&nets_->context_gen, &nets_->ar_cell,
@@ -163,7 +167,8 @@ Status AecGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
                           Randn(batch, num_features_, rng, 0.01));
       }
       const std::vector<Var> tail =
-          nets_->GenerateTail(context, seq_len_ - context_len_, noise_dim_, rng);
+          nets_->GenerateTail(context, seq_len_ - context_len_,
+                              [&] { return Randn(batch, noise_dim_, rng); });
       std::vector<Var> fake_window = context;
       fake_window.insert(fake_window.end(), tail.begin(), tail.end());
 
@@ -212,10 +217,81 @@ std::vector<Matrix> AecGan::Generate(int64_t count, Rng& rng) const {
     context.push_back(SliceCols(ctx_flat, t * num_features_, num_features_));
   }
   const std::vector<Var> tail =
-      nets_->GenerateTail(context, seq_len_ - context_len_, noise_dim_, rng);
+      nets_->GenerateTail(context, seq_len_ - context_len_,
+                          [&] { return Randn(count, noise_dim_, rng); });
   std::vector<Var> window = context;
   window.insert(window.end(), tail.begin(), tail.end());
   return StepsToSamples(window);
+}
+
+std::vector<std::vector<Matrix>> AecGan::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  std::vector<Rng> rngs = RequestRngs(requests);
+  // Same draw order as Generate per request: one context draw, then one tail
+  // draw per unrolled step, each packed across the requests' row blocks.
+  const Var ctx_flat =
+      nets_->context_gen.Forward(PackedRandn(requests, noise_dim_, rngs));
+  std::vector<Var> context;
+  for (int64_t t = 0; t < context_len_; ++t) {
+    context.push_back(SliceCols(ctx_flat, t * num_features_, num_features_));
+  }
+  const std::vector<Var> tail = nets_->GenerateTail(
+      context, seq_len_ - context_len_,
+      [&] { return PackedRandn(requests, noise_dim_, rngs); });
+  std::vector<Var> window = context;
+  window.insert(window.end(), tail.begin(), tail.end());
+  return SplitByRequest(StepsToSamples(window), requests);
+}
+
+StatusOr<core::MethodSnapshot> AecGan::Snapshot() const {
+  if (nets_ == nullptr) {
+    return Status::FailedPrecondition("AEC-GAN: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "context_len", context_len_);
+  PutConfig(&snap, "noise_dim", noise_dim_);
+  PutConfig(&snap, "hidden", hidden_);
+  AppendParams(&snap, nn::CollectParameters(
+                          {&nets_->context_gen, &nets_->ar_cell, &nets_->ar_head,
+                           &nets_->corrector, &nets_->disc, &nets_->disc_head}));
+  return snap;
+}
+
+Status AecGan::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, context_len = 0, noise_dim = 0, hidden = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "AEC-GAN", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "AEC-GAN", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "AEC-GAN", "context_len", &context_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "AEC-GAN", "noise_dim", &noise_dim));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "AEC-GAN", "hidden", &hidden));
+  if (seq_len <= 0 || n <= 0 || noise_dim <= 0 || hidden <= 0 ||
+      context_len <= 0 || context_len >= seq_len) {
+    return Status::InvalidArgument("AEC-GAN: bad dimensions in snapshot");
+  }
+  Rng rng(0);
+  auto nets = std::make_unique<Nets>(n, hidden, noise_dim, context_len,
+                                     seq_len - context_len, rng);
+  const std::vector<Var> params = nn::CollectParameters(
+      {&nets->context_gen, &nets->ar_cell, &nets->ar_head, &nets->corrector,
+       &nets->disc, &nets->disc_head});
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "AEC-GAN", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "AEC-GAN", 0, params));
+  nets_ = std::move(nets);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  context_len_ = context_len;
+  noise_dim_ = noise_dim;
+  hidden_ = hidden;
+  return Status::Ok();
+}
+
+uint64_t AecGan::HyperparameterDigest() const {
+  return HyperDigest(
+      "AEC-GAN v1: noise=8 hidden=clamp(2N,16,36) ctx=paper-table corrector=64 "
+      "epochs=40 clip=5");
 }
 
 }  // namespace tsg::methods

@@ -129,10 +129,10 @@ Status CosciGan::Fit(const core::Dataset& train, const core::FitOptions& options
   seq_len_ = train.seq_len();
   num_features_ = train.num_features();
   noise_dim_ = 8;
-  const int64_t hidden = 16;
+  hidden_ = 16;
 
   Rng rng(options.seed ^ 0xC05C1);
-  nets_ = std::make_unique<Nets>(num_features_, noise_dim_, hidden,
+  nets_ = std::make_unique<Nets>(num_features_, noise_dim_, hidden_,
                                  seq_len_ * num_features_, rng);
 
   std::vector<Var> gen_params, disc_params;
@@ -204,6 +204,75 @@ std::vector<Matrix> CosciGan::Generate(int64_t count, Rng& rng) const {
   TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
   const std::vector<Var> noise = NoiseSequence(seq_len_, count, noise_dim_, rng);
   return StepsToSamples(nets_->Generate(noise, num_features_));
+}
+
+namespace {
+
+/// Every tensor in the model: channel pairs in channel order, central last.
+std::vector<Var> AllCosciParams(CosciGan::Nets& nets) {
+  std::vector<Var> params;
+  for (auto& pair : nets.pairs) {
+    for (const Var& p : nn::CollectParameters(
+             {&pair->gen, &pair->gen_head, &pair->disc, &pair->disc_head})) {
+      params.push_back(p);
+    }
+  }
+  for (const Var& p : nets.central.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace
+
+std::vector<std::vector<Matrix>> CosciGan::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  std::vector<Rng> rngs = RequestRngs(requests);
+  const std::vector<Var> noise =
+      PackedNoiseSequence(seq_len_, requests, noise_dim_, rngs);
+  return SplitByRequest(StepsToSamples(nets_->Generate(noise, num_features_)),
+                        requests);
+}
+
+StatusOr<core::MethodSnapshot> CosciGan::Snapshot() const {
+  if (nets_ == nullptr) {
+    return Status::FailedPrecondition(
+        "COSCI-GAN: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "noise_dim", noise_dim_);
+  PutConfig(&snap, "hidden", hidden_);
+  AppendParams(&snap, AllCosciParams(*nets_));
+  return snap;
+}
+
+Status CosciGan::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, noise_dim = 0, hidden = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "COSCI-GAN", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "COSCI-GAN", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "COSCI-GAN", "noise_dim", &noise_dim));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "COSCI-GAN", "hidden", &hidden));
+  if (seq_len <= 0 || n <= 0 || noise_dim <= 0 || hidden <= 0) {
+    return Status::InvalidArgument("COSCI-GAN: non-positive dimension in snapshot");
+  }
+  Rng rng(0);
+  auto nets = std::make_unique<Nets>(n, noise_dim, hidden, seq_len * n, rng);
+  const std::vector<Var> params = AllCosciParams(*nets);
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "COSCI-GAN", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "COSCI-GAN", 0, params));
+  nets_ = std::move(nets);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  noise_dim_ = noise_dim;
+  hidden_ = hidden;
+  return Status::Ok();
+}
+
+uint64_t CosciGan::HyperparameterDigest() const {
+  return HyperDigest(
+      "COSCI-GAN v1: noise=8 hidden=16 gamma=5 central=64 max-channels=64 "
+      "gru-depth=1 clip=5");
 }
 
 }  // namespace tsg::methods

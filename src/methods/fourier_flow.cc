@@ -196,6 +196,32 @@ Status FourierFlow::Fit(const core::Dataset& train, const core::FitOptions& opti
   return Status::Ok();
 }
 
+namespace {
+
+/// Inverse-DFTs each packed-spectrum row back into a clamped (l x N) sample.
+std::vector<Matrix> SpectraToSamples(const Matrix& z, int64_t l, int64_t n) {
+  std::vector<Matrix> samples;
+  samples.reserve(static_cast<size_t>(z.rows()));
+  std::vector<double> packed(static_cast<size_t>(l));
+  for (int64_t i = 0; i < z.rows(); ++i) {
+    Matrix sample(l, n);
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t t = 0; t < l; ++t) {
+        packed[static_cast<size_t>(t)] = z(i, j * l + t);
+      }
+      const std::vector<double> column = signal::InverseRealDftPacked(packed);
+      for (int64_t t = 0; t < l; ++t) {
+        sample(t, j) = column[static_cast<size_t>(t)];
+      }
+    }
+    core::ClampToUnit(sample);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace
+
 std::vector<Matrix> FourierFlow::Generate(int64_t count, Rng& rng) const {
   TSG_CHECK(impl_ != nullptr) << "Fit must be called before Generate";
   const int64_t dim = seq_len_ * num_features_;
@@ -204,24 +230,68 @@ std::vector<Matrix> FourierFlow::Generate(int64_t count, Rng& rng) const {
   for (auto it = impl_->layers.rbegin(); it != impl_->layers.rend(); ++it) {
     z = (*it)->Inverse(z);
   }
-  std::vector<Matrix> samples;
-  samples.reserve(static_cast<size_t>(count));
-  std::vector<double> packed(static_cast<size_t>(seq_len_));
-  for (int64_t i = 0; i < count; ++i) {
-    Matrix sample(seq_len_, num_features_);
-    for (int64_t j = 0; j < num_features_; ++j) {
-      for (int64_t t = 0; t < seq_len_; ++t) {
-        packed[static_cast<size_t>(t)] = z(i, j * seq_len_ + t);
-      }
-      const std::vector<double> column = signal::InverseRealDftPacked(packed);
-      for (int64_t t = 0; t < seq_len_; ++t) {
-        sample(t, j) = column[static_cast<size_t>(t)];
-      }
-    }
-    core::ClampToUnit(sample);
-    samples.push_back(std::move(sample));
+  return SpectraToSamples(z, seq_len_, num_features_);
+}
+
+std::vector<std::vector<Matrix>> FourierFlow::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(impl_ != nullptr) << "Fit must be called before Generate";
+  const int64_t dim = seq_len_ * num_features_;
+  std::vector<Rng> rngs = RequestRngs(requests);
+  // Each request's row block gets its own noise stream, so the packed inverse
+  // flow (row-independent) reproduces the sequential draws bit-for-bit.
+  Matrix z = PackedRandn(requests, dim, rngs).value();
+  for (auto it = impl_->layers.rbegin(); it != impl_->layers.rend(); ++it) {
+    z = (*it)->Inverse(z);
   }
-  return samples;
+  return SplitByRequest(SpectraToSamples(z, seq_len_, num_features_), requests);
+}
+
+StatusOr<core::MethodSnapshot> FourierFlow::Snapshot() const {
+  if (impl_ == nullptr) {
+    return Status::FailedPrecondition(
+        "FourierFlow: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "num_flows", static_cast<int64_t>(impl_->layers.size()));
+  std::vector<Var> params;
+  for (const auto& layer : impl_->layers) {
+    for (const Var& p : layer->Parameters()) params.push_back(p);
+  }
+  AppendParams(&snap, params);
+  return snap;
+}
+
+Status FourierFlow::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, num_flows = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "FourierFlow", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "FourierFlow", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "FourierFlow", "num_flows", &num_flows));
+  if (seq_len <= 0 || n <= 0 || seq_len * n < 2 || num_flows <= 0 ||
+      num_flows > 64) {
+    return Status::InvalidArgument("FourierFlow: invalid snapshot config");
+  }
+  Rng rng(0);
+  auto impl = std::make_unique<Impl>(seq_len * n, static_cast<int>(num_flows),
+                                     rng);
+  std::vector<Var> params;
+  for (const auto& layer : impl->layers) {
+    for (const Var& p : layer->Parameters()) params.push_back(p);
+  }
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "FourierFlow", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "FourierFlow", 0, params));
+  impl_ = std::move(impl);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  return Status::Ok();
+}
+
+uint64_t FourierFlow::HyperparameterDigest() const {
+  return HyperDigest(
+      "FourierFlow v1: hidden=50 flows=3-stock/5-default adam=1e-3 "
+      "epochs=200 clip=5");
 }
 
 }  // namespace tsg::methods

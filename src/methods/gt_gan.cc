@@ -111,10 +111,10 @@ Status GtGan::Fit(const core::Dataset& train, const core::FitOptions& options) {
   seq_len_ = train.seq_len();
   num_features_ = train.num_features();
   noise_dim_ = 8;
-  const int64_t hidden = std::clamp<int64_t>(2 * num_features_, 16, 32);
+  hidden_ = std::clamp<int64_t>(2 * num_features_, 16, 32);
 
   Rng rng(options.seed ^ 0x67AD);
-  nets_ = std::make_unique<Nets>(num_features_, hidden, noise_dim_, rng);
+  nets_ = std::make_unique<Nets>(num_features_, hidden_, noise_dim_, rng);
 
   nn::Adam g_opt(nn::CollectParameters({&nets_->gen_init, &nets_->gen_field,
                                         &nets_->gen_head}),
@@ -178,6 +178,63 @@ std::vector<Matrix> GtGan::Generate(int64_t count, Rng& rng) const {
   TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
   const std::vector<Var> noise = NoiseSequence(seq_len_, count, noise_dim_, rng);
   return StepsToSamples(nets_->Generate(Randn(count, noise_dim_, rng), noise));
+}
+
+std::vector<std::vector<Matrix>> GtGan::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  std::vector<Rng> rngs = RequestRngs(requests);
+  // Same draw order as Generate: the step-noise sequence first, then z0.
+  const std::vector<Var> noise =
+      PackedNoiseSequence(seq_len_, requests, noise_dim_, rngs);
+  const Var z0 = PackedRandn(requests, noise_dim_, rngs);
+  return SplitByRequest(StepsToSamples(nets_->Generate(z0, noise)), requests);
+}
+
+StatusOr<core::MethodSnapshot> GtGan::Snapshot() const {
+  if (nets_ == nullptr) {
+    return Status::FailedPrecondition("GT-GAN: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "noise_dim", noise_dim_);
+  PutConfig(&snap, "hidden", hidden_);
+  AppendParams(&snap, nn::CollectParameters(
+                          {&nets_->gen_init, &nets_->gen_field, &nets_->gen_head,
+                           &nets_->disc_field, &nets_->disc_jump,
+                           &nets_->disc_head}));
+  return snap;
+}
+
+Status GtGan::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, noise_dim = 0, hidden = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "GT-GAN", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "GT-GAN", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "GT-GAN", "noise_dim", &noise_dim));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "GT-GAN", "hidden", &hidden));
+  if (seq_len <= 0 || n <= 0 || noise_dim <= 0 || hidden <= 0) {
+    return Status::InvalidArgument("GT-GAN: non-positive dimension in snapshot");
+  }
+  Rng rng(0);
+  auto nets = std::make_unique<Nets>(n, hidden, noise_dim, rng);
+  const std::vector<Var> params = nn::CollectParameters(
+      {&nets->gen_init, &nets->gen_field, &nets->gen_head, &nets->disc_field,
+       &nets->disc_jump, &nets->disc_head});
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "GT-GAN", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "GT-GAN", 0, params));
+  nets_ = std::move(nets);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  noise_dim_ = noise_dim;
+  hidden_ = hidden;
+  return Status::Ok();
+}
+
+uint64_t GtGan::HyperparameterDigest() const {
+  return HyperDigest(
+      "GT-GAN v1: noise=8 hidden=clamp(2N,16,32) euler=4/2 mle-pretrain=2 "
+      "adam=1e-3 epochs=150 clip=5");
 }
 
 }  // namespace tsg::methods

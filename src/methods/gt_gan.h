@@ -26,6 +26,11 @@ class GtGan : public core::TsgMethod {
 
   Status Fit(const core::Dataset& train, const core::FitOptions& options) override;
   std::vector<linalg::Matrix> Generate(int64_t count, Rng& rng) const override;
+  std::vector<std::vector<linalg::Matrix>> GenerateBatch(
+      const std::vector<core::GenRequest>& requests) const override;
+  StatusOr<core::MethodSnapshot> Snapshot() const override;
+  Status Restore(const core::MethodSnapshot& snapshot) override;
+  uint64_t HyperparameterDigest() const override;
   std::string name() const override { return "GT-GAN"; }
 
   struct Nets;
@@ -35,6 +40,7 @@ class GtGan : public core::TsgMethod {
   int64_t seq_len_ = 0;
   int64_t num_features_ = 0;
   int64_t noise_dim_ = 0;
+  int64_t hidden_ = 0;
 };
 
 }  // namespace tsg::methods

@@ -182,4 +182,55 @@ std::vector<Matrix> Ls4::Generate(int64_t count, Rng& rng) const {
   return StepsToSamples(nets_->Decode(z, seq_len_));
 }
 
+std::vector<std::vector<Matrix>> Ls4::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  std::vector<Rng> rngs = RequestRngs(requests);
+  const Var z = PackedRandn(requests, latent_dim_, rngs);
+  return SplitByRequest(StepsToSamples(nets_->Decode(z, seq_len_)), requests);
+}
+
+StatusOr<core::MethodSnapshot> Ls4::Snapshot() const {
+  if (nets_ == nullptr) {
+    return Status::FailedPrecondition("LS4: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "latent_dim", latent_dim_);
+  AppendParams(&snap, nn::CollectParameters(
+                          {&nets_->enc1, &nets_->enc2, &nets_->to_mu,
+                           &nets_->to_logvar, &nets_->dec_input, &nets_->dec1,
+                           &nets_->dec2, &nets_->head}));
+  return snap;
+}
+
+Status Ls4::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, latent = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "LS4", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "LS4", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "LS4", "latent_dim", &latent));
+  if (seq_len <= 0 || n <= 0 || latent <= 0) {
+    return Status::InvalidArgument("LS4: non-positive dimension in snapshot");
+  }
+  Rng rng(0);
+  auto nets = std::make_unique<Nets>(n, latent, rng);
+  const std::vector<Var> params = nn::CollectParameters(
+      {&nets->enc1, &nets->enc2, &nets->to_mu, &nets->to_logvar,
+       &nets->dec_input, &nets->dec1, &nets->dec2, &nets->head});
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "LS4", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "LS4", 0, params));
+  nets_ = std::move(nets);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  latent_dim_ = latent;
+  return Status::Ok();
+}
+
+uint64_t Ls4::HyperparameterDigest() const {
+  return HyperDigest(
+      "LS4 v1: latent=5 state=16 ssm-depth=2/2 kl=0.05 adam=2e-3 epochs=80 "
+      "clip=5");
+}
+
 }  // namespace tsg::methods

@@ -83,10 +83,10 @@ Status Rgan::Fit(const core::Dataset& train, const core::FitOptions& options) {
   seq_len_ = train.seq_len();
   num_features_ = train.num_features();
   noise_dim_ = std::clamp<int64_t>(num_features_, 4, 16);
-  const int64_t hidden = std::clamp<int64_t>(4 * num_features_, 8, 48);
+  hidden_ = std::clamp<int64_t>(4 * num_features_, 8, 48);
 
   Rng rng(options.seed ^ 0x46A1);
-  nets_ = std::make_unique<Nets>(noise_dim_, num_features_, hidden, rng);
+  nets_ = std::make_unique<Nets>(noise_dim_, num_features_, hidden_, rng);
   nn::Adam g_opt(nn::CollectParameters({&nets_->gen_rnn, &nets_->gen_out}), 1e-3);
   nn::Adam d_opt(nn::CollectParameters({&nets_->disc_rnn, &nets_->disc_out}), 1e-3);
 
@@ -127,6 +127,59 @@ std::vector<Matrix> Rgan::Generate(int64_t count, Rng& rng) const {
   TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
   const std::vector<Var> noise = NoiseSequence(seq_len_, count, noise_dim_, rng);
   return StepsToSamples(nets_->Generate(noise));
+}
+
+std::vector<std::vector<Matrix>> Rgan::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  std::vector<Rng> rngs = RequestRngs(requests);
+  const std::vector<Var> noise =
+      PackedNoiseSequence(seq_len_, requests, noise_dim_, rngs);
+  return SplitByRequest(StepsToSamples(nets_->Generate(noise)), requests);
+}
+
+StatusOr<core::MethodSnapshot> Rgan::Snapshot() const {
+  if (nets_ == nullptr) {
+    return Status::FailedPrecondition("RGAN: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "noise_dim", noise_dim_);
+  PutConfig(&snap, "hidden", hidden_);
+  AppendParams(&snap, nn::CollectParameters({&nets_->gen_rnn, &nets_->gen_out,
+                                             &nets_->disc_rnn, &nets_->disc_out}));
+  return snap;
+}
+
+Status Rgan::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, noise_dim = 0, hidden = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RGAN", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RGAN", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RGAN", "noise_dim", &noise_dim));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RGAN", "hidden", &hidden));
+  if (seq_len <= 0 || n <= 0 || noise_dim <= 0 || hidden <= 0) {
+    return Status::InvalidArgument("RGAN: non-positive dimension in snapshot");
+  }
+  // Placeholder init; every parameter is overwritten from the snapshot below.
+  Rng rng(0);
+  auto nets = std::make_unique<Nets>(noise_dim, n, hidden, rng);
+  const std::vector<Var> params = nn::CollectParameters(
+      {&nets->gen_rnn, &nets->gen_out, &nets->disc_rnn, &nets->disc_out});
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "RGAN", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "RGAN", 0, params));
+  nets_ = std::move(nets);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  noise_dim_ = noise_dim;
+  hidden_ = hidden;
+  return Status::Ok();
+}
+
+uint64_t Rgan::HyperparameterDigest() const {
+  return HyperDigest(
+      "RGAN v1: noise=clamp(N,4,16) hidden=clamp(4N,8,48) gru-depth=1 adam=1e-3 "
+      "epochs=60 clip=5");
 }
 
 }  // namespace tsg::methods

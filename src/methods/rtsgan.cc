@@ -95,10 +95,11 @@ Status RtsGan::Fit(const core::Dataset& train, const core::FitOptions& options) 
   num_features_ = train.num_features();
   latent_dim_ = std::clamp<int64_t>(2 * num_features_, 8, 24);
   noise_dim_ = latent_dim_;
-  const int64_t hidden = std::clamp<int64_t>(2 * num_features_, 12, 36);
+  hidden_ = std::clamp<int64_t>(2 * num_features_, 12, 36);
 
   Rng rng(options.seed ^ 0x2757);
-  nets_ = std::make_unique<Nets>(num_features_, hidden, latent_dim_, noise_dim_, rng);
+  nets_ =
+      std::make_unique<Nets>(num_features_, hidden_, latent_dim_, noise_dim_, rng);
 
   // ---- Stage 1: autoencoder. ----
   nn::Adam ae_opt(nn::CollectParameters({&nets_->encoder, &nets_->to_latent,
@@ -163,6 +164,64 @@ std::vector<Matrix> RtsGan::Generate(int64_t count, Rng& rng) const {
   TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
   const Var latent = nets_->latent_gen.Forward(Randn(count, noise_dim_, rng));
   return StepsToSamples(nets_->Decode(latent, seq_len_));
+}
+
+std::vector<std::vector<Matrix>> RtsGan::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  std::vector<Rng> rngs = RequestRngs(requests);
+  const Var latent =
+      nets_->latent_gen.Forward(PackedRandn(requests, noise_dim_, rngs));
+  return SplitByRequest(StepsToSamples(nets_->Decode(latent, seq_len_)), requests);
+}
+
+StatusOr<core::MethodSnapshot> RtsGan::Snapshot() const {
+  if (nets_ == nullptr) {
+    return Status::FailedPrecondition("RTSGAN: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "latent_dim", latent_dim_);
+  PutConfig(&snap, "noise_dim", noise_dim_);
+  PutConfig(&snap, "hidden", hidden_);
+  AppendParams(&snap, nn::CollectParameters(
+                          {&nets_->encoder, &nets_->to_latent, &nets_->from_latent,
+                           &nets_->decoder, &nets_->dec_head, &nets_->latent_gen,
+                           &nets_->critic}));
+  return snap;
+}
+
+Status RtsGan::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, latent = 0, noise = 0, hidden = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RTSGAN", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RTSGAN", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RTSGAN", "latent_dim", &latent));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RTSGAN", "noise_dim", &noise));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "RTSGAN", "hidden", &hidden));
+  if (seq_len <= 0 || n <= 0 || latent <= 0 || noise <= 0 || hidden <= 0) {
+    return Status::InvalidArgument("RTSGAN: non-positive dimension in snapshot");
+  }
+  Rng rng(0);
+  auto nets = std::make_unique<Nets>(n, hidden, latent, noise, rng);
+  const std::vector<Var> params = nn::CollectParameters(
+      {&nets->encoder, &nets->to_latent, &nets->from_latent, &nets->decoder,
+       &nets->dec_head, &nets->latent_gen, &nets->critic});
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "RTSGAN", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "RTSGAN", 0, params));
+  nets_ = std::move(nets);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  latent_dim_ = latent;
+  noise_dim_ = noise;
+  hidden_ = hidden;
+  return Status::Ok();
+}
+
+uint64_t RtsGan::HyperparameterDigest() const {
+  return HyperDigest(
+      "RTSGAN v1: latent=clamp(2N,8,24) hidden=clamp(2N,12,36) mlp=64x64 "
+      "wgan-clip epochs=45+ae clip=5");
 }
 
 }  // namespace tsg::methods

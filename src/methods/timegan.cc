@@ -155,10 +155,10 @@ Status TimeGan::Fit(const core::Dataset& train, const core::FitOptions& options)
   seq_len_ = train.seq_len();
   num_features_ = train.num_features();
   noise_dim_ = std::clamp<int64_t>(num_features_, 4, 16);
-  const int64_t hidden = std::clamp<int64_t>(2 * num_features_, 12, 36);
+  hidden_ = std::clamp<int64_t>(2 * num_features_, 12, 36);
 
   Rng rng(options.seed ^ 0x716A);
-  nets_ = std::make_unique<Nets>(num_features_, hidden, noise_dim_, rng);
+  nets_ = std::make_unique<Nets>(num_features_, hidden_, noise_dim_, rng);
 
   auto ae_params = nn::CollectParameters({&nets_->embedder, &nets_->recovery_head});
   auto sup_params = nn::CollectParameters({&nets_->supervisor, &nets_->sup_head});
@@ -265,6 +265,64 @@ std::vector<Matrix> TimeGan::Generate(int64_t count, Rng& rng) const {
   const std::vector<Var> noise = NoiseSequence(seq_len_, count, noise_dim_, rng);
   const std::vector<Var> h_hat = nets_->GenerateLatent(noise);
   return StepsToSamples(nets_->Recover(h_hat));
+}
+
+std::vector<std::vector<Matrix>> TimeGan::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  std::vector<Rng> rngs = RequestRngs(requests);
+  const std::vector<Var> noise =
+      PackedNoiseSequence(seq_len_, requests, noise_dim_, rngs);
+  const std::vector<Var> h_hat = nets_->GenerateLatent(noise);
+  return SplitByRequest(StepsToSamples(nets_->Recover(h_hat)), requests);
+}
+
+StatusOr<core::MethodSnapshot> TimeGan::Snapshot() const {
+  if (nets_ == nullptr) {
+    return Status::FailedPrecondition("TimeGAN: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "noise_dim", noise_dim_);
+  PutConfig(&snap, "hidden", hidden_);
+  AppendParams(&snap,
+               nn::CollectParameters(
+                   {&nets_->embedder, &nets_->recovery_head, &nets_->generator,
+                    &nets_->gen_head, &nets_->supervisor, &nets_->sup_head,
+                    &nets_->discriminator, &nets_->disc_head}));
+  return snap;
+}
+
+Status TimeGan::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, noise_dim = 0, hidden = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeGAN", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeGAN", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeGAN", "noise_dim", &noise_dim));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeGAN", "hidden", &hidden));
+  if (seq_len <= 0 || n <= 0 || noise_dim <= 0 || hidden <= 0) {
+    return Status::InvalidArgument("TimeGAN: non-positive dimension in snapshot");
+  }
+  Rng rng(0);
+  auto nets = std::make_unique<Nets>(n, hidden, noise_dim, rng);
+  const std::vector<Var> params = nn::CollectParameters(
+      {&nets->embedder, &nets->recovery_head, &nets->generator, &nets->gen_head,
+       &nets->supervisor, &nets->sup_head, &nets->discriminator,
+       &nets->disc_head});
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "TimeGAN", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "TimeGAN", 0, params));
+  nets_ = std::move(nets);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  noise_dim_ = noise_dim;
+  hidden_ = hidden;
+  return Status::Ok();
+}
+
+uint64_t TimeGan::HyperparameterDigest() const {
+  return HyperDigest(
+      "TimeGAN v1: noise=clamp(N,4,16) hidden=clamp(2N,12,36) gru-depth=2/2/1/1 "
+      "adam=2e-3/1e-3 epochs=30+30+40 clip=5");
 }
 
 }  // namespace tsg::methods

@@ -178,23 +178,85 @@ Status TimeVae::Fit(const core::Dataset& train, const core::FitOptions& options)
   return Status::Ok();
 }
 
-std::vector<Matrix> TimeVae::Generate(int64_t count, Rng& rng) const {
-  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
-  const Var z = Randn(count, latent_dim_, rng);
-  const Var flat = nets_->Decode(z);
+namespace {
+
+/// Un-flattens decoder rows (batch x l*n) back into clamped (l x n) samples.
+std::vector<Matrix> RowsToSamples(const Matrix& flat, int64_t l, int64_t n) {
   std::vector<Matrix> samples;
-  samples.reserve(static_cast<size_t>(count));
-  for (int64_t b = 0; b < count; ++b) {
-    Matrix s(seq_len_, num_features_);
-    for (int64_t t = 0; t < seq_len_; ++t) {
-      for (int64_t j = 0; j < num_features_; ++j) {
-        s(t, j) = flat.value()(b, t * num_features_ + j);
-      }
+  samples.reserve(static_cast<size_t>(flat.rows()));
+  for (int64_t b = 0; b < flat.rows(); ++b) {
+    Matrix s(l, n);
+    for (int64_t t = 0; t < l; ++t) {
+      for (int64_t j = 0; j < n; ++j) s(t, j) = flat(b, t * n + j);
     }
     core::ClampToUnit(s);
     samples.push_back(std::move(s));
   }
   return samples;
+}
+
+}  // namespace
+
+std::vector<Matrix> TimeVae::Generate(int64_t count, Rng& rng) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  const Var z = Randn(count, latent_dim_, rng);
+  const Var flat = nets_->Decode(z);
+  return RowsToSamples(flat.value(), seq_len_, num_features_);
+}
+
+std::vector<std::vector<Matrix>> TimeVae::GenerateBatch(
+    const std::vector<core::GenRequest>& requests) const {
+  TSG_CHECK(nets_ != nullptr) << "Fit must be called before Generate";
+  std::vector<Rng> rngs = RequestRngs(requests);
+  const Var z = PackedRandn(requests, latent_dim_, rngs);
+  const Var flat = nets_->Decode(z);
+  return SplitByRequest(RowsToSamples(flat.value(), seq_len_, num_features_),
+                        requests);
+}
+
+StatusOr<core::MethodSnapshot> TimeVae::Snapshot() const {
+  if (nets_ == nullptr) {
+    return Status::FailedPrecondition("TimeVAE: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", seq_len_);
+  PutConfig(&snap, "num_features", num_features_);
+  PutConfig(&snap, "latent_dim", latent_dim_);
+  AppendParams(&snap, nn::CollectParameters(
+                          {&nets_->encoder, &nets_->to_mu, &nets_->to_logvar,
+                           &nets_->trend_coeff, &nets_->season_coeff,
+                           &nets_->residual}));
+  return snap;
+}
+
+Status TimeVae::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, latent = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeVAE", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeVAE", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeVAE", "latent_dim", &latent));
+  if (seq_len <= 0 || n <= 0 || latent <= 0) {
+    return Status::InvalidArgument("TimeVAE: non-positive dimension in snapshot");
+  }
+  // The trend/season mixing matrices are deterministic functions of (l, n), so
+  // the constructor rebuilds them; only trainable tensors come from the snapshot.
+  Rng rng(0);
+  auto nets = std::make_unique<Nets>(seq_len, n, latent, rng);
+  const std::vector<Var> params = nn::CollectParameters(
+      {&nets->encoder, &nets->to_mu, &nets->to_logvar, &nets->trend_coeff,
+       &nets->season_coeff, &nets->residual});
+  TSG_RETURN_IF_ERROR(CheckParamCount(snapshot, "TimeVAE", params.size()));
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "TimeVAE", 0, params));
+  nets_ = std::move(nets);
+  seq_len_ = seq_len;
+  num_features_ = n;
+  latent_dim_ = latent;
+  return Status::Ok();
+}
+
+uint64_t TimeVae::HyperparameterDigest() const {
+  return HyperDigest(
+      "TimeVAE v1: latent=8 enc=96x48 residual=96 trend-deg=2 harmonics=2 "
+      "kl=0.05 adam=2e-3 epochs=120 clip=5");
 }
 
 }  // namespace tsg::methods

@@ -362,6 +362,127 @@ Status TimeVqVae::Fit(const core::Dataset& train, const core::FitOptions& option
   return Status::Ok();
 }
 
+namespace {
+
+/// Serializes a BandVqVae's non-gradient state (codebook + EMA statistics).
+void AppendBandState(core::MethodSnapshot* snap, const BandVqVae& band) {
+  snap->params.push_back(band.codebook);
+  Matrix counts(kCodebookSize, 1);
+  for (int64_t k = 0; k < kCodebookSize; ++k) {
+    counts(k, 0) = band.ema_counts[static_cast<size_t>(k)];
+  }
+  snap->params.push_back(std::move(counts));
+  snap->params.push_back(band.ema_sums);
+}
+
+/// Reads back what AppendBandState wrote; shapes are pre-validated by the caller.
+void RestoreBandState(const core::MethodSnapshot& snap, size_t pos,
+                      BandVqVae* band) {
+  band->codebook = snap.params[pos];
+  for (int64_t k = 0; k < kCodebookSize; ++k) {
+    band->ema_counts[static_cast<size_t>(k)] = snap.params[pos + 1](k, 0);
+  }
+  band->ema_sums = snap.params[pos + 2];
+}
+
+Status CheckShape(const Matrix& m, int64_t rows, int64_t cols,
+                  const char* what) {
+  if (m.rows() != rows || m.cols() != cols) {
+    return Status::InvalidArgument(
+        std::string("TimeVQVAE: bad shape for ") + what + ": expected " +
+        std::to_string(rows) + "x" + std::to_string(cols) + ", got " +
+        std::to_string(m.rows()) + "x" + std::to_string(m.cols()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<core::MethodSnapshot> TimeVqVae::Snapshot() const {
+  if (impl_ == nullptr) {
+    return Status::FailedPrecondition(
+        "TimeVQVAE: Fit must succeed before Snapshot");
+  }
+  core::MethodSnapshot snap;
+  PutConfig(&snap, "seq_len", impl_->layout.seq_len);
+  PutConfig(&snap, "num_features", impl_->layout.features);
+  PutConfig(&snap, "frames", impl_->layout.frames);
+  PutConfig(&snap, "bins", impl_->layout.bins);
+  AppendParams(&snap, nn::CollectParameters(
+                          {&impl_->low.encoder, &impl_->low.decoder,
+                           &impl_->high.encoder, &impl_->high.decoder}));
+  // Non-gradient state follows the Var parameters: per-band codebook + EMA
+  // statistics, then the bigram prior (initial weights + transition counts).
+  AppendBandState(&snap, impl_->low);
+  AppendBandState(&snap, impl_->high);
+  Matrix initial(kCodebookSize, 1);
+  for (int64_t k = 0; k < kCodebookSize; ++k) {
+    initial(k, 0) = impl_->prior.initial[static_cast<size_t>(k)];
+  }
+  snap.params.push_back(std::move(initial));
+  for (const Matrix& t : impl_->prior.transitions) snap.params.push_back(t);
+  return snap;
+}
+
+Status TimeVqVae::Restore(const core::MethodSnapshot& snapshot) {
+  int64_t seq_len = 0, n = 0, frames = 0, bins = 0;
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeVQVAE", "seq_len", &seq_len));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeVQVAE", "num_features", &n));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeVQVAE", "frames", &frames));
+  TSG_RETURN_IF_ERROR(GetConfig(snapshot, "TimeVQVAE", "bins", &bins));
+  if (seq_len < kNfft || n <= 0 || frames <= 0 || bins <= 0) {
+    return Status::InvalidArgument("TimeVQVAE: invalid layout in snapshot");
+  }
+  BandLayout layout;
+  layout.seq_len = seq_len;
+  layout.features = n;
+  layout.frames = frames;
+  layout.bins = bins;
+  if (layout.BandDim(false) <= 0) {
+    return Status::InvalidArgument("TimeVQVAE: invalid layout in snapshot");
+  }
+  Rng rng(0);
+  auto impl = std::make_unique<Impl>(layout, rng);
+  const std::vector<Var> params = nn::CollectParameters(
+      {&impl->low.encoder, &impl->low.decoder, &impl->high.encoder,
+       &impl->high.decoder});
+  const size_t extras = 2 * 3 + 1 + (2 * kSubCodes - 1);
+  TSG_RETURN_IF_ERROR(
+      CheckParamCount(snapshot, "TimeVQVAE", params.size() + extras));
+  size_t pos = params.size();
+  for (size_t band = 0; band < 2; ++band) {
+    TSG_RETURN_IF_ERROR(CheckShape(snapshot.params[pos + band * 3],
+                                   kCodebookSize, kSubDim, "codebook"));
+    TSG_RETURN_IF_ERROR(CheckShape(snapshot.params[pos + band * 3 + 1],
+                                   kCodebookSize, 1, "ema_counts"));
+    TSG_RETURN_IF_ERROR(CheckShape(snapshot.params[pos + band * 3 + 2],
+                                   kCodebookSize, kSubDim, "ema_sums"));
+  }
+  TSG_RETURN_IF_ERROR(
+      CheckShape(snapshot.params[pos + 6], kCodebookSize, 1, "prior initial"));
+  for (size_t t = 0; t < static_cast<size_t>(2 * kSubCodes - 1); ++t) {
+    TSG_RETURN_IF_ERROR(CheckShape(snapshot.params[pos + 7 + t], kCodebookSize,
+                                   kCodebookSize, "prior transitions"));
+  }
+  TSG_RETURN_IF_ERROR(AssignParams(snapshot, "TimeVQVAE", 0, params));
+  RestoreBandState(snapshot, pos, &impl->low);
+  RestoreBandState(snapshot, pos + 3, &impl->high);
+  for (int64_t k = 0; k < kCodebookSize; ++k) {
+    impl->prior.initial[static_cast<size_t>(k)] = snapshot.params[pos + 6](k, 0);
+  }
+  for (size_t t = 0; t < impl->prior.transitions.size(); ++t) {
+    impl->prior.transitions[t] = snapshot.params[pos + 7 + t];
+  }
+  impl_ = std::move(impl);
+  return Status::Ok();
+}
+
+uint64_t TimeVqVae::HyperparameterDigest() const {
+  return HyperDigest(
+      "TimeVQVAE v1: nfft=8 hop=4 low-bins=2 sub-codes=4 sub-dim=4 "
+      "codebook=32 ema=0.95 beta=0.25 enc=64 adam=2e-3 epochs=240 clip=5");
+}
+
 std::vector<Matrix> TimeVqVae::Generate(int64_t count, Rng& rng) const {
   TSG_CHECK(impl_ != nullptr) << "Fit must be called before Generate";
   std::vector<Matrix> samples;

@@ -23,6 +23,9 @@ class TimeVqVae : public core::TsgMethod {
 
   Status Fit(const core::Dataset& train, const core::FitOptions& options) override;
   std::vector<linalg::Matrix> Generate(int64_t count, Rng& rng) const override;
+  StatusOr<core::MethodSnapshot> Snapshot() const override;
+  Status Restore(const core::MethodSnapshot& snapshot) override;
+  uint64_t HyperparameterDigest() const override;
   std::string name() const override { return "TimeVQVAE"; }
 
   struct Impl;

@@ -1,25 +1,33 @@
 #include "nn/serialize.h"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 #include <vector>
 
+#include "io/atomic_file.h"
 #include "linalg/matrix.h"
 
 namespace tsg::nn {
 
 namespace {
+
 constexpr char kMagic[] = "TSGPARAMS v1";
+
+/// Upper bound on one tensor dimension accepted from a file. Real model tensors
+/// are tiny (hundreds of rows); this only has to stop a corrupt header from
+/// requesting a multi-gigabyte staging allocation before the value parse fails.
+constexpr int64_t kMaxDim = int64_t{1} << 24;
+
 }  // namespace
 
-Status SaveParameters(const std::string& path, const std::vector<ag::Var>& params) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << kMagic << "\n" << params.size() << "\n";
-  for (const ag::Var& p : params) {
-    const auto& value = p.value();
+std::string SerializeTensors(const std::vector<linalg::Matrix>& tensors) {
+  std::ostringstream out;
+  out << kMagic << "\n" << tensors.size() << "\n";
+  for (const linalg::Matrix& value : tensors) {
     out << value.rows() << " " << value.cols() << "\n";
     for (int64_t i = 0; i < value.size(); ++i) {
       // Hex float round-trips exactly.
@@ -29,47 +37,90 @@ Status SaveParameters(const std::string& path, const std::vector<ag::Var>& param
     }
     if (value.size() == 0) out << "\n";
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return out.str();
 }
 
-Status LoadParameters(const std::string& path, std::vector<ag::Var>& params) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+StatusOr<std::vector<linalg::Matrix>> ParseTensors(const std::string& content,
+                                                   const std::string& origin) {
+  std::istringstream in(content);
   std::string magic;
   std::getline(in, magic);
-  if (magic != kMagic) return Status::InvalidArgument("bad magic in " + path);
+  if (magic != kMagic) return Status::InvalidArgument("bad magic in " + origin);
   size_t count = 0;
-  in >> count;
-  if (count != params.size()) {
-    return Status::InvalidArgument("parameter count mismatch: file has " +
-                                   std::to_string(count) + ", model has " +
-                                   std::to_string(params.size()));
+  if (!(in >> count)) {
+    return Status::InvalidArgument("truncated header in " + origin);
   }
-  // Parse everything into staging buffers first so failures leave params untouched.
-  std::vector<linalg::Matrix> staged;
-  staged.reserve(count);
+  std::vector<linalg::Matrix> tensors;
+  tensors.reserve(count);
   for (size_t k = 0; k < count; ++k) {
     int64_t rows = 0, cols = 0;
-    if (!(in >> rows >> cols)) return Status::InvalidArgument("truncated header");
-    const auto& expect = params[k].value();
-    if (rows != expect.rows() || cols != expect.cols()) {
-      return Status::InvalidArgument("shape mismatch at parameter " +
-                                     std::to_string(k));
+    if (!(in >> rows >> cols)) {
+      return Status::InvalidArgument("truncated tensor header in " + origin);
+    }
+    if (rows < 0 || cols < 0 || rows > kMaxDim || cols > kMaxDim) {
+      return Status::InvalidArgument("implausible tensor shape " +
+                                     std::to_string(rows) + "x" +
+                                     std::to_string(cols) + " in " + origin);
     }
     linalg::Matrix m(rows, cols);
     for (int64_t i = 0; i < m.size(); ++i) {
       std::string token;
-      if (!(in >> token)) return Status::InvalidArgument("truncated values");
+      if (!(in >> token)) {
+        return Status::InvalidArgument("truncated values in " + origin);
+      }
       char* end = nullptr;
       m[i] = std::strtod(token.c_str(), &end);
-      if (end == token.c_str()) {
-        return Status::InvalidArgument("bad value '" + token + "'");
+      if (end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad value '" + token + "' in " + origin);
       }
     }
-    staged.push_back(std::move(m));
+    tensors.push_back(std::move(m));
   }
-  for (size_t k = 0; k < count; ++k) {
+  // A well-formed blob ends after the declared tensors; anything else means a
+  // concatenated, doubled, or garbage-appended file and must not load.
+  char c = 0;
+  while (in.get(c)) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("trailing bytes after " +
+                                     std::to_string(count) + " tensors in " +
+                                     origin);
+    }
+  }
+  return tensors;
+}
+
+Status SaveParameters(const std::string& path, const std::vector<ag::Var>& params) {
+  std::vector<linalg::Matrix> tensors;
+  tensors.reserve(params.size());
+  for (const ag::Var& p : params) tensors.push_back(p.value());
+  return io::WriteFileAtomic(path, SerializeTensors(tensors));
+}
+
+Status LoadParameters(const std::string& path, std::vector<ag::Var>& params) {
+  StatusOr<std::string> content = io::ReadFileToString(path);
+  if (!content.ok()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  StatusOr<std::vector<linalg::Matrix>> parsed =
+      ParseTensors(content.value(), path);
+  TSG_RETURN_IF_ERROR(parsed.status());
+  std::vector<linalg::Matrix>& staged = parsed.value();
+  if (staged.size() != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch: file has " +
+                                   std::to_string(staged.size()) +
+                                   ", model has " +
+                                   std::to_string(params.size()));
+  }
+  // Validate every shape before touching any parameter, so failures leave the
+  // model untouched.
+  for (size_t k = 0; k < staged.size(); ++k) {
+    const auto& expect = params[k].value();
+    if (staged[k].rows() != expect.rows() || staged[k].cols() != expect.cols()) {
+      return Status::InvalidArgument("shape mismatch at parameter " +
+                                     std::to_string(k));
+    }
+  }
+  for (size_t k = 0; k < staged.size(); ++k) {
     params[k].mutable_value() = std::move(staged[k]);
   }
   return Status::Ok();

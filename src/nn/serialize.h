@@ -6,6 +6,7 @@
 
 #include "ag/variable.h"
 #include "base/status.h"
+#include "linalg/matrix.h"
 
 namespace tsg::nn {
 
@@ -13,13 +14,32 @@ namespace tsg::nn {
 /// workflow (Figure 5's training-time row), so trained weights can be saved and
 /// restored. The format is a small text header (magic, parameter count, per-tensor
 /// shape) followed by the flat values; it round-trips bit-exactly via hex doubles.
+///
+/// The string-level pair (SerializeTensors / ParseTensors) is the substrate the
+/// artifact store embeds inside its own container format; SaveParameters /
+/// LoadParameters are the standalone-file convenience wrappers.
 
-/// Writes `params` to `path`. Parameter order defines identity: load with the same
+/// Renders `tensors` in the TSGPARAMS v1 text format. Deterministic: the same
+/// tensors always produce the same bytes.
+std::string SerializeTensors(const std::vector<linalg::Matrix>& tensors);
+
+/// Parses a TSGPARAMS v1 blob back into tensors. Strict: fails on bad magic,
+/// truncation, malformed values, implausible shapes, and — unlike a plain stream
+/// read — on any non-whitespace bytes after the declared tensors, so concatenated
+/// or trailing-garbage corruption cannot load "successfully". `origin` names the
+/// blob in error messages (a path, or an artifact key).
+StatusOr<std::vector<linalg::Matrix>> ParseTensors(const std::string& content,
+                                                   const std::string& origin);
+
+/// Writes `params` to `path` atomically (temp file + rename via
+/// io::WriteFileAtomic): a crash mid-save leaves any previous version intact
+/// instead of a torn file. Parameter order defines identity: load with the same
 /// module construction order as the save.
 Status SaveParameters(const std::string& path, const std::vector<ag::Var>& params);
 
 /// Restores values into `params` in order. Fails (without partial writes) when the
-/// file is missing, corrupt, or the shapes disagree with the given parameters.
+/// file is missing, corrupt, carries trailing bytes, or the shapes disagree with
+/// the given parameters.
 Status LoadParameters(const std::string& path, std::vector<ag::Var>& params);
 
 }  // namespace tsg::nn

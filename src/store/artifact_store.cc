@@ -1,0 +1,289 @@
+#include "store/artifact_store.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "base/fnv.h"
+#include "io/atomic_file.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+
+namespace tsg::store {
+
+namespace {
+
+constexpr const char kMagic[] = "TSGMODEL v1";
+
+std::string HexU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string HexDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool IsCleanToken(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '\0') return false;
+  }
+  return true;
+}
+
+/// Walks `content` line by line; after the header, `pos` marks the payload.
+struct LineReader {
+  const std::string& content;
+  size_t pos = 0;
+
+  bool Next(std::string* line) {
+    if (pos >= content.size()) return false;
+    const size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      *line = content.substr(pos);
+      pos = content.size();
+    } else {
+      *line = content.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    return true;
+  }
+};
+
+Status Corrupt(const std::string& origin, const std::string& what) {
+  return Status::InvalidArgument("corrupt artifact " + origin + ": " + what);
+}
+
+/// Reads the next header line and strips the expected `field ` prefix.
+Status ReadField(LineReader* reader, const std::string& origin,
+                 const std::string& field, std::string* value) {
+  std::string line;
+  if (!reader->Next(&line)) {
+    return Corrupt(origin, "truncated header (missing " + field + ")");
+  }
+  const std::string prefix = field + " ";
+  if (line.rfind(prefix, 0) != 0) {
+    return Corrupt(origin, "expected '" + field + "', got '" + line + "'");
+  }
+  *value = line.substr(prefix.size());
+  return Status::Ok();
+}
+
+Status ParseU64(const std::string& token, int base, const std::string& origin,
+                const std::string& field, uint64_t* out) {
+  if (token.empty()) return Corrupt(origin, "empty " + field);
+  char* end = nullptr;
+  *out = std::strtoull(token.c_str(), &end, base);
+  if (end == token.c_str() || *end != '\0') {
+    return Corrupt(origin, "bad " + field + " '" + token + "'");
+  }
+  return Status::Ok();
+}
+
+Status ParseI64(const std::string& token, const std::string& origin,
+                const std::string& field, int64_t* out) {
+  if (token.empty()) return Corrupt(origin, "empty " + field);
+  char* end = nullptr;
+  *out = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return Corrupt(origin, "bad " + field + " '" + token + "'");
+  }
+  return Status::Ok();
+}
+
+/// Bit-exact double equality (epoch_scale round-trips through %a/strtod).
+bool SameBits(double a, double b) {
+  uint64_t ab = 0, bb = 0;
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  __builtin_memcpy(&ab, &a, sizeof(ab));
+  __builtin_memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+obs::Counter& StoreCounter(const char* name) {
+  return obs::MetricRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {}
+
+uint64_t ArtifactStore::KeyAddress(const core::ModelKey& key) {
+  return base::Fnv64()
+      .String(key.method)
+      .U64(key.hyper_digest)
+      .U64(key.dataset_fingerprint)
+      .U64(key.seed)
+      .F64(key.epoch_scale)
+      .I64(key.batch_size)
+      .digest();
+}
+
+std::string ArtifactStore::PathFor(const core::ModelKey& key) const {
+  std::string method;
+  method.reserve(key.method.size());
+  for (const char c : key.method) {
+    const bool safe = std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                      c == '_';
+    method.push_back(safe ? c : '_');
+  }
+  return root_ + "/" + method + "-" + HexU64(KeyAddress(key)) + ".tsgmodel";
+}
+
+StatusOr<std::string> ArtifactStore::SerializeArtifact(
+    const core::ModelKey& key, const core::MethodSnapshot& snapshot) {
+  if (!IsCleanToken(key.method)) {
+    return Status::InvalidArgument("artifact key has an empty or non-token "
+                                   "method name");
+  }
+  for (const auto& [k, v] : snapshot.config) {
+    if (!IsCleanToken(k) || !IsCleanToken(v)) {
+      return Status::InvalidArgument(
+          "snapshot config entry '" + k +
+          "' is not a whitespace-free token; cannot serialize");
+    }
+  }
+  const std::string payload = nn::SerializeTensors(snapshot.params);
+  std::string out;
+  out.reserve(payload.size() + 512);
+  out += kMagic;
+  out += "\nmethod " + key.method;
+  out += "\nhyper_digest " + HexU64(key.hyper_digest);
+  out += "\ndataset_fingerprint " + HexU64(key.dataset_fingerprint);
+  out += "\nseed " + std::to_string(key.seed);
+  out += "\nepoch_scale " + HexDouble(key.epoch_scale);
+  out += "\nbatch_size " + std::to_string(key.batch_size);
+  out += "\nconfig " + std::to_string(snapshot.config.size());
+  for (const auto& [k, v] : snapshot.config) out += "\n" + k + " " + v;
+  out += "\npayload_bytes " + std::to_string(payload.size());
+  out += "\npayload_checksum " + HexU64(base::Fnv64Bytes(payload.data(),
+                                                         payload.size()));
+  out += "\n";
+  out += payload;
+  return out;
+}
+
+StatusOr<core::MethodSnapshot> ArtifactStore::ParseArtifact(
+    const core::ModelKey& key, const std::string& content,
+    const std::string& origin) {
+  LineReader reader{content};
+  std::string line;
+  if (!reader.Next(&line) || line != kMagic) {
+    return Corrupt(origin, "bad magic");
+  }
+
+  std::string token;
+  TSG_RETURN_IF_ERROR(ReadField(&reader, origin, "method", &token));
+  if (token != key.method) {
+    return Corrupt(origin, "method mismatch: artifact has '" + token +
+                               "', key wants '" + key.method + "'");
+  }
+  uint64_t hyper = 0, fingerprint = 0, seed = 0, checksum = 0, u64 = 0;
+  TSG_RETURN_IF_ERROR(ReadField(&reader, origin, "hyper_digest", &token));
+  TSG_RETURN_IF_ERROR(ParseU64(token, 16, origin, "hyper_digest", &hyper));
+  TSG_RETURN_IF_ERROR(
+      ReadField(&reader, origin, "dataset_fingerprint", &token));
+  TSG_RETURN_IF_ERROR(
+      ParseU64(token, 16, origin, "dataset_fingerprint", &fingerprint));
+  TSG_RETURN_IF_ERROR(ReadField(&reader, origin, "seed", &token));
+  TSG_RETURN_IF_ERROR(ParseU64(token, 10, origin, "seed", &seed));
+  TSG_RETURN_IF_ERROR(ReadField(&reader, origin, "epoch_scale", &token));
+  char* end = nullptr;
+  const double epoch_scale = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return Corrupt(origin, "bad epoch_scale '" + token + "'");
+  }
+  int64_t batch_size = 0;
+  TSG_RETURN_IF_ERROR(ReadField(&reader, origin, "batch_size", &token));
+  TSG_RETURN_IF_ERROR(ParseI64(token, origin, "batch_size", &batch_size));
+  if (hyper != key.hyper_digest || fingerprint != key.dataset_fingerprint ||
+      seed != key.seed || !SameBits(epoch_scale, key.epoch_scale) ||
+      batch_size != key.batch_size) {
+    return Corrupt(origin, "key mismatch (address collision or stale file)");
+  }
+
+  core::MethodSnapshot snap;
+  TSG_RETURN_IF_ERROR(ReadField(&reader, origin, "config", &token));
+  TSG_RETURN_IF_ERROR(ParseU64(token, 10, origin, "config count", &u64));
+  if (u64 > 4096) return Corrupt(origin, "implausible config count");
+  for (uint64_t i = 0; i < u64; ++i) {
+    if (!reader.Next(&line)) return Corrupt(origin, "truncated config");
+    const size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      return Corrupt(origin, "bad config line '" + line + "'");
+    }
+    snap.config.emplace_back(line.substr(0, space), line.substr(space + 1));
+  }
+
+  uint64_t payload_bytes = 0;
+  TSG_RETURN_IF_ERROR(ReadField(&reader, origin, "payload_bytes", &token));
+  TSG_RETURN_IF_ERROR(ParseU64(token, 10, origin, "payload_bytes",
+                               &payload_bytes));
+  TSG_RETURN_IF_ERROR(ReadField(&reader, origin, "payload_checksum", &token));
+  TSG_RETURN_IF_ERROR(ParseU64(token, 16, origin, "payload_checksum",
+                               &checksum));
+
+  // The payload must be exactly the declared byte count: a short file is
+  // truncation, a long one is trailing garbage — both refuse to load.
+  const size_t available = content.size() - reader.pos;
+  if (available != payload_bytes) {
+    return Corrupt(origin, "payload is " + std::to_string(available) +
+                               " bytes, header declares " +
+                               std::to_string(payload_bytes));
+  }
+  const char* payload = content.data() + reader.pos;
+  if (base::Fnv64Bytes(payload, payload_bytes) != checksum) {
+    return Corrupt(origin, "payload checksum mismatch");
+  }
+
+  TSG_ASSIGN_OR_RETURN(snap.params,
+                       nn::ParseTensors(std::string(payload, payload_bytes),
+                                        origin));
+  return snap;
+}
+
+StatusOr<core::MethodSnapshot> ArtifactStore::Load(const core::ModelKey& key) {
+  const std::string path = PathFor(key);
+  StatusOr<std::string> content = io::ReadFileToString(path);
+  if (!content.ok()) {
+    if (content.status().code() == StatusCode::kNotFound) {
+      StoreCounter("store.misses").Add();
+      return Status::NotFound("no artifact for " + key.method + " at " + path);
+    }
+    StoreCounter("store.corrupt").Add();
+    return content.status();
+  }
+  StoreCounter("store.bytes_read").Add(
+      static_cast<int64_t>(content.value().size()));
+  StatusOr<core::MethodSnapshot> snap =
+      ParseArtifact(key, content.value(), path);
+  if (!snap.ok()) {
+    StoreCounter("store.corrupt").Add();
+    return snap.status();
+  }
+  StoreCounter("store.hits").Add();
+  return snap;
+}
+
+Status ArtifactStore::Save(const core::ModelKey& key,
+                           const core::MethodSnapshot& snapshot) {
+  TSG_ASSIGN_OR_RETURN(const std::string content,
+                       SerializeArtifact(key, snapshot));
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec) {
+    return Status::IoError("cannot create artifact directory " + root_ + ": " +
+                           ec.message());
+  }
+  TSG_RETURN_IF_ERROR(io::WriteFileAtomic(PathFor(key), content));
+  StoreCounter("store.bytes_written").Add(static_cast<int64_t>(content.size()));
+  return Status::Ok();
+}
+
+}  // namespace tsg::store

@@ -1,0 +1,77 @@
+#ifndef TSG_STORE_ARTIFACT_STORE_H_
+#define TSG_STORE_ARTIFACT_STORE_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "core/method.h"
+
+namespace tsg::store {
+
+/// Content-addressed store of trained-model artifacts on the local filesystem.
+///
+/// Fitting a TSG method dominates the cost of a benchmark run (the paper's
+/// Figure 5 training-time row), while everything downstream of Fit — Generate
+/// and the evaluation measures — is cheap and deterministic. The store makes
+/// training a write-once operation: the harness addresses artifacts by
+/// core::ModelKey (method, hyperparameter digest, dataset fingerprint, seed,
+/// epoch scale, batch size), so any run that would train a bit-identical model
+/// can load it instead.
+///
+/// One artifact is one file, `<root>/<method>-<address>.tsgmodel`, where
+/// `address` is the 64-bit FNV-1a hash of every key field. The format is the
+/// TSGMODEL v1 container: a text header carrying the full key (not just its
+/// hash), the method's scalar configuration, and the payload's byte count and
+/// FNV-64 checksum, followed by the payload — a TSGPARAMS v1 tensor blob
+/// (nn::SerializeTensors). Writes go through io::WriteFileAtomic, so a crash
+/// mid-publish never leaves a torn artifact; loads re-derive the checksum and
+/// verify every header field against the requested key, so hash collisions,
+/// bit rot, truncation and trailing garbage all surface as load errors instead
+/// of silently wrong models.
+///
+/// Telemetry (tsg::obs counters): store.hits, store.misses, store.corrupt,
+/// store.bytes_read, store.bytes_written.
+class ArtifactStore : public core::ModelStore {
+ public:
+  /// Uses `root` as the artifact directory; created on first Save.
+  explicit ArtifactStore(std::string root);
+
+  /// Loads and verifies the artifact for `key`. kNotFound = no artifact (cache
+  /// miss); kInvalidArgument/kIoError = artifact present but unusable (counted
+  /// as store.corrupt — callers should retrain and overwrite).
+  StatusOr<core::MethodSnapshot> Load(const core::ModelKey& key) override;
+
+  /// Atomically publishes `snapshot` under `key`, replacing any prior version.
+  Status Save(const core::ModelKey& key,
+              const core::MethodSnapshot& snapshot) override;
+
+  /// The artifact file path for `key` (exists only after a Save).
+  std::string PathFor(const core::ModelKey& key) const;
+
+  /// 64-bit content address of a key: FNV-1a over every field.
+  static uint64_t KeyAddress(const core::ModelKey& key);
+
+  /// Renders the TSGMODEL v1 container (header + TSGPARAMS payload).
+  /// Deterministic: the same key and snapshot always produce the same bytes.
+  /// Fails when a config key/value is empty or contains whitespace, since the
+  /// header is line-oriented.
+  static StatusOr<std::string> SerializeArtifact(
+      const core::ModelKey& key, const core::MethodSnapshot& snapshot);
+
+  /// Parses and verifies a TSGMODEL v1 container against the requested key.
+  /// Strict: bad magic, header/key mismatch, checksum mismatch, payload size
+  /// mismatch, bytes after the payload, and payload parse errors all fail.
+  /// `origin` names the blob in error messages.
+  static StatusOr<core::MethodSnapshot> ParseArtifact(const core::ModelKey& key,
+                                                      const std::string& content,
+                                                      const std::string& origin);
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+};
+
+}  // namespace tsg::store
+
+#endif  // TSG_STORE_ARTIFACT_STORE_H_

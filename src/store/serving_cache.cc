@@ -1,0 +1,68 @@
+#include "store/serving_cache.h"
+
+#include <utility>
+
+#include "methods/factory.h"
+#include "obs/metrics.h"
+
+namespace tsg::store {
+
+namespace {
+
+obs::Counter& ServingCounter(const char* name) {
+  return obs::MetricRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+ServingCache::ServingCache(ArtifactStore* store) : store_(store) {}
+
+StatusOr<const core::TsgMethod*> ServingCache::GetMethod(
+    const core::ModelKey& key) {
+  const std::string address = store_->PathFor(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = methods_.find(address);
+    if (it != methods_.end()) {
+      ServingCounter("serving.hits").Add();
+      return const_cast<const core::TsgMethod*>(it->second.get());
+    }
+  }
+  ServingCounter("serving.misses").Add();
+
+  // Restore outside the lock: artifact IO and network rebuilding are the slow
+  // path, and two racing restores of the same key are both correct (the loser
+  // is discarded below).
+  TSG_ASSIGN_OR_RETURN(const core::MethodSnapshot snapshot, store_->Load(key));
+  TSG_ASSIGN_OR_RETURN(std::unique_ptr<core::TsgMethod> method,
+                       methods::CreateMethod(key.method));
+  TSG_RETURN_IF_ERROR(method->Restore(snapshot));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = methods_.emplace(address, std::move(method));
+  return const_cast<const core::TsgMethod*>(it->second.get());
+}
+
+StatusOr<std::vector<std::vector<linalg::Matrix>>> ServingCache::Generate(
+    const core::ModelKey& key, const std::vector<core::GenRequest>& requests) {
+  for (const core::GenRequest& request : requests) {
+    if (request.count < 0) {
+      return Status::InvalidArgument("negative count in generation request");
+    }
+  }
+  TSG_ASSIGN_OR_RETURN(const core::TsgMethod* method, GetMethod(key));
+  ServingCounter("serving.requests").Add(static_cast<int64_t>(requests.size()));
+  std::vector<std::vector<linalg::Matrix>> result =
+      method->GenerateBatch(requests);
+  int64_t series = 0;
+  for (const auto& block : result) series += static_cast<int64_t>(block.size());
+  ServingCounter("serving.series").Add(series);
+  return result;
+}
+
+size_t ServingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return methods_.size();
+}
+
+}  // namespace tsg::store

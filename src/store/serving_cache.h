@@ -1,0 +1,63 @@
+#ifndef TSG_STORE_SERVING_CACHE_H_
+#define TSG_STORE_SERVING_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/method.h"
+#include "store/artifact_store.h"
+
+namespace tsg::store {
+
+/// Generation serving layer over an ArtifactStore: restores a trained model at
+/// most once per key and serves every subsequent Generate from the warm
+/// in-memory instance, using the methods' batched sampling path.
+///
+/// The first request for a key loads + verifies the artifact, rebuilds the
+/// method via methods::CreateMethod + Restore, and caches the instance; later
+/// requests reuse it directly. Because GenerateBatch's RNG contract splits the
+/// stream per request, a served batch is bit-identical to calling
+/// `Generate(count, Rng(seed))` per request — results do not depend on how
+/// requests are grouped or which process served them.
+///
+/// Thread-safe: the method map is mutex-guarded; generation itself runs outside
+/// the lock (fitted methods are const and concurrent-safe per TsgMethod's
+/// contract).
+///
+/// Telemetry (tsg::obs counters): serving.hits, serving.misses,
+/// serving.requests, serving.series.
+class ServingCache {
+ public:
+  /// Serves artifacts from `store` (not owned; must outlive the cache).
+  explicit ServingCache(ArtifactStore* store);
+
+  /// The warm method for `key`: restored from the store on first use, cached
+  /// after. Fails when no artifact exists, the artifact is corrupt, or the
+  /// method cannot be rebuilt. The pointer stays valid for the cache's
+  /// lifetime.
+  StatusOr<const core::TsgMethod*> GetMethod(const core::ModelKey& key);
+
+  /// Serves a batch of generation requests against the model for `key`.
+  /// Element j holds requests[j].count series, bit-identical to
+  /// `Generate(requests[j].count, Rng(requests[j].seed))` on the restored
+  /// model.
+  StatusOr<std::vector<std::vector<linalg::Matrix>>> Generate(
+      const core::ModelKey& key,
+      const std::vector<core::GenRequest>& requests);
+
+  /// Number of resident models (for tests and capacity checks).
+  size_t size() const;
+
+ private:
+  ArtifactStore* store_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<core::TsgMethod>> methods_;
+};
+
+}  // namespace tsg::store
+
+#endif  // TSG_STORE_SERVING_CACHE_H_
