@@ -1,12 +1,14 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include <cstring>
 
@@ -15,6 +17,7 @@
 #include "io/atomic_file.h"
 #include "io/csv.h"
 #include "io/json.h"
+#include "io/lease.h"
 #include "methods/factory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -43,6 +46,40 @@ void ParseBenchFlags(int* argc, char** argv) {
 }
 
 const std::string& MetricsOutPath() { return g_metrics_out; }
+
+bool ConsumeFlag(int* argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  bool found = false;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (flag == argv[i]) {
+      found = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+  return found;
+}
+
+bool ConsumeFlagValue(int* argc, char** argv, const std::string& name,
+                      std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  bool found = false;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      *value = argv[i] + prefix.size();
+      found = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;
+  return found;
+}
 
 void WriteMetricsSnapshot() {
   if (g_metrics_out.empty()) return;
@@ -182,6 +219,13 @@ std::string CheckpointPath(const BenchConfig& config, const std::string& method,
          SanitizeFileName(dataset) + ".csv";
 }
 
+/// Ownership marker for one in-flight cell of a sharded run. Lives next to the
+/// checkpoint; the `.lease` suffix keeps it out of the `*.csv` checkpoint glob.
+std::string CellLeasePath(const BenchConfig& config, const std::string& method,
+                          const std::string& dataset) {
+  return CheckpointPath(config, method, dataset) + ".lease";
+}
+
 Status WriteCellCheckpoint(const BenchConfig& config, const CellOutcome& cell) {
   const std::string& method =
       cell.failed ? cell.error.method : cell.rows.front().method;
@@ -318,6 +362,105 @@ void WriteGridSummary(const BenchConfig& config,
   }
 }
 
+/// Harness plus the optional artifact store it serves from, configured
+/// identically for every grid execution mode (in-process RunGrid, sharded
+/// workers, merge stragglers) so each mode computes bit-identical cells.
+struct GridHarness {
+  std::unique_ptr<store::ArtifactStore> store;
+  std::unique_ptr<core::Harness> harness;
+};
+
+GridHarness MakeGridHarness(const BenchConfig& config) {
+  core::HarnessOptions options;
+  options.fit.epoch_scale = config.epoch_scale();
+  options.fit.seed = config.seed;
+  options.stochastic_repeats = config.stochastic_repeats();
+  options.max_eval_samples = config.max_eval_samples();
+  options.embedder.epochs = std::max(4, static_cast<int>(10 * config.scale));
+  options.seed = config.seed;
+  GridHarness grid;
+  // With a store configured, every cell checks for a prior fitted model before
+  // training and publishes its model after. ArtifactStore is stateless over
+  // atomic file operations, so concurrent cells — and concurrent worker
+  // processes — can share it.
+  if (!config.store_dir.empty()) {
+    grid.store = std::make_unique<store::ArtifactStore>(config.store_dir);
+    options.store = grid.store.get();
+    std::fprintf(stderr, "[grid] artifact store at %s\n",
+                 config.store_dir.c_str());
+  }
+  grid.harness = std::make_unique<core::Harness>(options);
+  return grid;
+}
+
+/// Fits and evaluates one (method, dataset) cell. Deterministic in
+/// (config, method, dataset): the cell seeds its Rng chain from the harness
+/// options alone, so any process computing it produces identical rows.
+CellOutcome ComputeCell(core::Harness& harness, const std::string& method_name,
+                        const core::Preprocessed& pre) {
+  CellOutcome outcome;
+  const obs::ScopedTimer cell_span("grid.cell");
+  obs::MetricRegistry::Global().GetCounter("grid.cells.computed").Add();
+  auto method = methods::CreateMethod(method_name);
+  if (!method.ok()) {
+    outcome.failed = true;
+    outcome.error = {method_name, pre.train.name(), method.status().ToString()};
+    return outcome;
+  }
+  auto result = harness.RunMethod(*method.value(), pre.train, pre.test);
+  if (!result.ok()) {
+    outcome.failed = true;
+    outcome.error = {method_name, pre.train.name(), result.status().ToString()};
+    std::fprintf(stderr, "[grid]   %-12s / %-10s FAILED: %s\n",
+                 method_name.c_str(), pre.train.name().c_str(),
+                 result.status().ToString().c_str());
+    return outcome;
+  }
+  outcome.rows.reserve(result.value().scores.size());
+  for (const auto& [measure, summary] : result.value().scores) {
+    outcome.rows.push_back({method_name, pre.train.name(), measure, summary.mean,
+                            summary.std, result.value().fit_seconds});
+  }
+  std::fprintf(stderr, "[grid]   %-12s / %-10s fit %.1fs\n", method_name.c_str(),
+               pre.train.name().c_str(), result.value().fit_seconds);
+  return outcome;
+}
+
+/// Splits "a,b,c" into {"a","b","c"}; empty segments are dropped.
+std::vector<std::string> SplitCsvList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(csv);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Simulates + preprocesses datasets on first use, so a shard worker or merge
+/// supervisor only pays for the datasets of the cells it actually computes.
+class LazyDatasets {
+ public:
+  LazyDatasets(const BenchConfig& config, std::vector<data::DatasetId> ids)
+      : config_(config), ids_(std::move(ids)), prepared_(ids_.size()),
+        ready_(ids_.size(), false) {}
+
+  const core::Preprocessed& Get(size_t index) {
+    if (!ready_[index]) {
+      const obs::ScopedTimer prepare_span("grid.prepare_dataset");
+      prepared_[index] = PrepareDataset(ids_[index], config_);
+      ready_[index] = true;
+    }
+    return prepared_[index];
+  }
+
+ private:
+  const BenchConfig& config_;
+  const std::vector<data::DatasetId> ids_;
+  std::vector<core::Preprocessed> prepared_;
+  std::vector<bool> ready_;
+};
+
 }  // namespace
 
 std::string CheckpointDir(const BenchConfig& config) {
@@ -333,24 +476,8 @@ GridResult RunGrid(const BenchConfig& config,
                    const std::vector<data::DatasetId>& datasets) {
   obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
   obs::ScopedTimer grid_span("grid.run");
-  core::HarnessOptions options;
-  options.fit.epoch_scale = config.epoch_scale();
-  options.fit.seed = config.seed;
-  options.stochastic_repeats = config.stochastic_repeats();
-  options.max_eval_samples = config.max_eval_samples();
-  options.embedder.epochs = std::max(4, static_cast<int>(10 * config.scale));
-  options.seed = config.seed;
-  // With a store configured, every cell checks for a prior fitted model before
-  // training and publishes its model after. ArtifactStore is stateless over
-  // atomic file operations, so the concurrent cells below can share it.
-  std::unique_ptr<store::ArtifactStore> artifact_store;
-  if (!config.store_dir.empty()) {
-    artifact_store = std::make_unique<store::ArtifactStore>(config.store_dir);
-    options.store = artifact_store.get();
-    std::fprintf(stderr, "[grid] artifact store at %s\n",
-                 config.store_dir.c_str());
-  }
-  core::Harness harness(options);
+  const GridHarness grid = MakeGridHarness(config);
+  core::Harness& harness = *grid.harness;
 
   std::filesystem::create_directories(CheckpointDir(config));
 
@@ -417,34 +544,7 @@ GridResult RunGrid(const BenchConfig& config,
     const std::string& method_name =
         methods[static_cast<size_t>(cell % num_methods)];
     CellOutcome& outcome = outcomes[static_cast<size_t>(cell)];
-
-    const obs::ScopedTimer cell_span("grid.cell");
-    metrics.GetCounter("grid.cells.computed").Add();
-    auto method = methods::CreateMethod(method_name);
-    if (!method.ok()) {
-      outcome.failed = true;
-      outcome.error = {method_name, pre.train.name(), method.status().ToString()};
-    } else {
-      auto result = harness.RunMethod(*method.value(), pre.train, pre.test);
-      if (!result.ok()) {
-        outcome.failed = true;
-        outcome.error = {method_name, pre.train.name(),
-                         result.status().ToString()};
-        std::fprintf(stderr, "[grid]   %-12s / %-10s FAILED: %s\n",
-                     method_name.c_str(), pre.train.name().c_str(),
-                     result.status().ToString().c_str());
-      } else {
-        outcome.rows.reserve(result.value().scores.size());
-        for (const auto& [measure, summary] : result.value().scores) {
-          outcome.rows.push_back({method_name, pre.train.name(), measure,
-                                  summary.mean, summary.std,
-                                  result.value().fit_seconds});
-        }
-        std::fprintf(stderr, "[grid]   %-12s / %-10s fit %.1fs\n",
-                     method_name.c_str(), pre.train.name().c_str(),
-                     result.value().fit_seconds);
-      }
-    }
+    outcome = ComputeCell(harness, method_name, pre);
     const Status ckpt = WriteCellCheckpoint(config, outcome);
     if (!ckpt.ok()) {
       metrics.GetCounter("grid.checkpoint_write_failures").Add();
@@ -467,6 +567,253 @@ GridResult RunGrid(const BenchConfig& config,
   }
   WriteGridSummary(config, methods, datasets, outcomes);
   return result;
+}
+
+StatusOr<int64_t> RunGridShard(const BenchConfig& config,
+                               const std::vector<std::string>& methods,
+                               const std::vector<data::DatasetId>& datasets,
+                               const ShardOptions& options) {
+  obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
+  obs::ScopedTimer shard_span("grid.shard.run");
+  const GridHarness grid = MakeGridHarness(config);
+  std::filesystem::create_directories(CheckpointDir(config));
+  const std::string& token = io::LeaseOwnerToken();
+  const char* label = options.worker_label.c_str();
+
+  const int64_t num_methods = static_cast<int64_t>(methods.size());
+  const int64_t num_cells = static_cast<int64_t>(datasets.size()) * num_methods;
+  LazyDatasets prepared(config, datasets);
+  std::vector<bool> done(static_cast<size_t>(num_cells), false);
+
+  int64_t completed = 0;
+  auto last_progress = std::chrono::steady_clock::now();
+  for (;;) {
+    bool progressed = false;
+    for (int64_t cell = 0; cell < num_cells; ++cell) {
+      if (done[static_cast<size_t>(cell)]) continue;
+      const size_t di = static_cast<size_t>(cell / num_methods);
+      const std::string dataset = data::DatasetName(datasets[di]);
+      const std::string& method =
+          methods[static_cast<size_t>(cell % num_methods)];
+      const std::string ckpt_path = CheckpointPath(config, method, dataset);
+      if (std::filesystem::exists(ckpt_path)) {
+        done[static_cast<size_t>(cell)] = true;
+        progressed = true;
+        continue;
+      }
+      const std::string lease_path = CellLeasePath(config, method, dataset);
+      StatusOr<bool> acquired = io::AcquireLease(lease_path, token);
+      if (!acquired.ok()) return acquired.status();
+      if (!acquired.value()) {
+        // Held by another worker. A finished owner removes its lease only
+        // after its checkpoint landed, so held + no checkpoint is either a
+        // live computation (wait) or a casualty (reclaim).
+        const io::LeaseState state =
+            io::ProbeLease(lease_path, options.lease_stale_seconds);
+        bool reacquired = false;
+        if (state == io::LeaseState::kDead) {
+          StatusOr<bool> broke = io::BreakLease(lease_path, token);
+          if (!broke.ok()) return broke.status();
+          if (broke.value()) {
+            metrics.GetCounter("grid.shard.leases.stolen").Add();
+            acquired = io::AcquireLease(lease_path, token);
+            if (!acquired.ok()) return acquired.status();
+            reacquired = acquired.value();
+          }
+        }
+        if (!reacquired) {
+          if (!std::filesystem::exists(ckpt_path)) {
+            metrics.GetCounter("grid.shard.lease_conflicts").Add();
+          }
+          continue;
+        }
+        if (!std::filesystem::exists(ckpt_path)) {
+          // The dead owner never finished the cell; it is ours to redo.
+          metrics.GetCounter("grid.cells.reclaimed").Add();
+          std::fprintf(stderr, "[%s] reclaimed dead cell %s / %s\n", label,
+                       method.c_str(), dataset.c_str());
+        }
+      }
+      // We hold the lease. Re-check the checkpoint: the previous owner may
+      // have died after checkpointing but before releasing.
+      if (std::filesystem::exists(ckpt_path)) {
+        (void)io::ReleaseLease(lease_path, token);
+        done[static_cast<size_t>(cell)] = true;
+        progressed = true;
+        continue;
+      }
+      metrics.GetCounter("grid.shard.cells.claimed").Add();
+      std::fprintf(stderr, "[%s] claimed %s / %s\n", label, method.c_str(),
+                   dataset.c_str());
+      const CellOutcome outcome =
+          ComputeCell(*grid.harness, method, prepared.Get(di));
+      const Status ckpt = WriteCellCheckpoint(config, outcome);
+      if (!ckpt.ok()) {
+        metrics.GetCounter("grid.checkpoint_write_failures").Add();
+        return ckpt;
+      }
+      metrics.GetCounter("grid.shard.cells.completed").Add();
+      const Status released = io::ReleaseLease(lease_path, token);
+      if (!released.ok()) {
+        // Stolen mid-compute after being (wrongly) declared dead. Harmless:
+        // the checkpoint is durable and deterministic, so whatever the thief
+        // writes is byte-identical. Count it and move on.
+        metrics.GetCounter("grid.shard.lease_release_failures").Add();
+        std::fprintf(stderr, "[%s] lease release: %s\n", label,
+                     released.ToString().c_str());
+      }
+      done[static_cast<size_t>(cell)] = true;
+      ++completed;
+      progressed = true;
+    }
+    bool all_done = true;
+    for (int64_t cell = 0; cell < num_cells; ++cell) {
+      if (!done[static_cast<size_t>(cell)]) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (progressed) {
+      last_progress = now;
+      continue;
+    }
+    const double waited =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            now - last_progress)
+            .count();
+    if (waited > options.max_wait_seconds) {
+      return Status::FailedPrecondition(
+          options.worker_label + ": no progress for " +
+          std::to_string(waited) + "s waiting on cells held by live workers");
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.poll_seconds));
+  }
+  std::fprintf(stderr, "[%s] shard done: computed %lld/%lld cells\n", label,
+               static_cast<long long>(completed),
+               static_cast<long long>(num_cells));
+  return completed;
+}
+
+StatusOr<GridResult> MergeGridShards(const BenchConfig& config,
+                                     const std::vector<std::string>& methods,
+                                     const std::vector<data::DatasetId>& datasets,
+                                     const MergeOptions& options) {
+  obs::MetricRegistry& metrics = obs::MetricRegistry::Global();
+  obs::ScopedTimer merge_span("grid.shard.merge");
+  std::filesystem::create_directories(CheckpointDir(config));
+  const std::string& token = io::LeaseOwnerToken();
+
+  const int64_t num_methods = static_cast<int64_t>(methods.size());
+  const int64_t num_cells = static_cast<int64_t>(datasets.size()) * num_methods;
+  std::vector<CellOutcome> outcomes(static_cast<size_t>(num_cells));
+  // Built lazily: a merge over a fully covered grid computes nothing and
+  // should not pay for harness or store setup.
+  std::unique_ptr<GridHarness> grid;
+  LazyDatasets prepared(config, datasets);
+
+  for (int64_t cell = 0; cell < num_cells; ++cell) {
+    const size_t di = static_cast<size_t>(cell / num_methods);
+    const std::string dataset = data::DatasetName(datasets[di]);
+    const std::string& method = methods[static_cast<size_t>(cell % num_methods)];
+    const std::string ckpt_path = CheckpointPath(config, method, dataset);
+    const std::string lease_path = CellLeasePath(config, method, dataset);
+    if (std::filesystem::exists(lease_path)) {
+      if (std::filesystem::exists(ckpt_path)) {
+        // Owner died after checkpointing but before releasing: the work is
+        // done, only the marker is orphaned.
+        std::remove(lease_path.c_str());
+        metrics.GetCounter("grid.shard.merge.leases_cleaned").Add();
+      } else {
+        const io::LeaseState state =
+            io::ProbeLease(lease_path, options.lease_stale_seconds);
+        if (state == io::LeaseState::kLive) {
+          return Status::FailedPrecondition(
+              "cell " + method + " / " + dataset +
+              " is still held by a live worker; merge after the workers exit");
+        }
+        if (state == io::LeaseState::kDead) {
+          StatusOr<bool> broke = io::BreakLease(lease_path, token);
+          if (!broke.ok()) return broke.status();
+          if (broke.value()) {
+            metrics.GetCounter("grid.shard.merge.leases_reclaimed").Add();
+          }
+        }
+      }
+    }
+    CellOutcome& outcome = outcomes[static_cast<size_t>(cell)];
+    if (LoadCellCheckpoint(config, method, dataset, &outcome)) {
+      metrics.GetCounter("grid.shard.merge.cells_loaded").Add();
+      continue;
+    }
+    metrics.GetCounter("grid.shard.merge.cells_missing").Add();
+    if (!options.compute_missing) {
+      return Status::NotFound("no checkpoint for cell " + method + " / " +
+                              dataset + " in " + CheckpointDir(config));
+    }
+    if (grid == nullptr) {
+      grid = std::make_unique<GridHarness>(MakeGridHarness(config));
+    }
+    metrics.GetCounter("grid.shard.merge.cells_computed").Add();
+    outcome = ComputeCell(*grid->harness, method, prepared.Get(di));
+    const Status ckpt = WriteCellCheckpoint(config, outcome);
+    if (!ckpt.ok()) {
+      metrics.GetCounter("grid.checkpoint_write_failures").Add();
+      return ckpt;
+    }
+  }
+
+  GridResult result;
+  for (const CellOutcome& outcome : outcomes) {
+    if (outcome.failed) {
+      metrics.GetCounter("grid.shard.merge.cells_error").Add();
+      result.failures.push_back(outcome.error);
+    } else {
+      metrics.GetCounter("grid.shard.merge.cells_ok").Add();
+      result.rows.insert(result.rows.end(), outcome.rows.begin(),
+                         outcome.rows.end());
+    }
+  }
+  // Same writers as RunGrid, so the merged summary (timing-free, %.17g) is
+  // byte-identical to a single-process run and the cache CSV serves the
+  // figure binaries without recomputation.
+  WriteGridSummary(config, methods, datasets, outcomes);
+  WriteCache(CachePath(config), result);
+  return result;
+}
+
+StatusOr<std::vector<data::DatasetId>> ParseDatasetList(const std::string& csv) {
+  if (csv.empty()) return data::AllDatasets();
+  std::vector<data::DatasetId> out;
+  for (const std::string& name : SplitCsvList(csv)) {
+    bool found = false;
+    for (const data::DatasetId id : data::AllDatasets()) {
+      if (name == data::DatasetName(id)) {
+        out.push_back(id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::InvalidArgument("unknown dataset: " + name);
+  }
+  if (out.empty()) return Status::InvalidArgument("empty dataset list: " + csv);
+  return out;
+}
+
+StatusOr<std::vector<std::string>> ParseMethodList(const std::string& csv) {
+  if (csv.empty()) return methods::AllMethodNames();
+  const std::vector<std::string>& known = methods::AllMethodNames();
+  std::vector<std::string> out;
+  for (const std::string& name : SplitCsvList(csv)) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument("unknown method: " + name);
+    }
+    out.push_back(name);
+  }
+  if (out.empty()) return Status::InvalidArgument("empty method list: " + csv);
+  return out;
 }
 
 GridResult LoadOrComputeGrid(const BenchConfig& config,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "core/harness.h"
 #include "core/preprocess.h"
 #include "core/ranking.h"
@@ -39,6 +40,14 @@ BenchConfig LoadConfig();
 /// first in main, before benchmark::Initialize for Google Benchmark binaries).
 /// Currently recognizes --metrics_out=<path>, which arms WriteMetricsSnapshot().
 void ParseBenchFlags(int* argc, char** argv);
+
+/// Removes a bare `--<name>` flag from argv; returns true when it was present.
+bool ConsumeFlag(int* argc, char** argv, const std::string& name);
+
+/// Removes a `--<name>=<value>` flag from argv and stores the value; returns
+/// false (argv untouched, *value unchanged) when the flag is absent.
+bool ConsumeFlagValue(int* argc, char** argv, const std::string& name,
+                      std::string* value);
 
 /// Path given via --metrics_out, or empty when the flag was not passed.
 const std::string& MetricsOutPath();
@@ -101,6 +110,63 @@ std::string GridSummaryPath(const BenchConfig& config);
 GridResult RunGrid(const BenchConfig& config,
                    const std::vector<std::string>& methods,
                    const std::vector<data::DatasetId>& datasets);
+
+/// One sharded-grid worker process (DESIGN.md §10). Workers coordinate only
+/// through files in CheckpointDir(config): a cell is claimed by atomically
+/// creating `<checkpoint>.lease` (io::AcquireLease), computed through the same
+/// store-aware harness path as RunGrid, checkpointed atomically, and released.
+/// A worker that dies mid-cell leaves a lease that any survivor detects as dead
+/// (same-host pid probe, or the `lease_stale_seconds` TTL) and reclaims via
+/// io::BreakLease — exactly one survivor wins the steal. Because every cell is
+/// a pure function of the config, it does not matter which worker computes a
+/// cell: the checkpoint bytes are identical either way.
+struct ShardOptions {
+  std::string worker_label = "shard";  ///< Log / trace prefix only.
+  /// A held lease at least this old is reclaimable even when its owner cannot
+  /// be probed (foreign host). Same-host dead owners are reclaimed immediately.
+  double lease_stale_seconds = 300.0;
+  /// Give up after this long with pending cells but no progress anywhere (a
+  /// hung live owner would otherwise block the worker forever).
+  double max_wait_seconds = 600.0;
+  double poll_seconds = 0.05;  ///< Sleep between sweeps while waiting.
+};
+
+/// Sweeps the (method, dataset) grid claiming pending cells per ShardOptions
+/// until every cell has a checkpoint, then returns how many cells this worker
+/// computed itself. FailedPrecondition on a no-progress timeout.
+StatusOr<int64_t> RunGridShard(const BenchConfig& config,
+                               const std::vector<std::string>& methods,
+                               const std::vector<data::DatasetId>& datasets,
+                               const ShardOptions& options);
+
+struct MergeOptions {
+  /// When true, the supervisor computes any cell no worker completed (after
+  /// reclaiming its lease). When false a missing checkpoint is an error — the
+  /// strict mode CI uses to prove the workers really covered the grid.
+  bool compute_missing = true;
+  double lease_stale_seconds = 300.0;  ///< Same reclaim TTL as ShardOptions.
+};
+
+/// Supervisor pass, run after the workers exit: reclaims leftover leases
+/// (stale, or orphaned next to a finished checkpoint), loads every cell's
+/// checkpoint, computes stragglers when allowed, and writes the grid summary
+/// and cache CSV. The summary is byte-identical to a single-process RunGrid of
+/// the same config — checkpoints round-trip doubles through %.17g, so merged
+/// outcomes equal computed outcomes bit for bit. Fails with NotFound (strict
+/// mode, missing cell) or FailedPrecondition (a live worker still holds a
+/// lease).
+StatusOr<GridResult> MergeGridShards(const BenchConfig& config,
+                                     const std::vector<std::string>& methods,
+                                     const std::vector<data::DatasetId>& datasets,
+                                     const MergeOptions& options);
+
+/// Parses a comma-separated dataset-name list ("dlg,stock") against
+/// data::DatasetName. An empty string means data::AllDatasets().
+StatusOr<std::vector<data::DatasetId>> ParseDatasetList(const std::string& csv);
+
+/// Parses a comma-separated method list against methods::AllMethodNames().
+/// An empty string means every registered paper method.
+StatusOr<std::vector<std::string>> ParseMethodList(const std::string& csv);
 
 /// Runs the full benchmarking grid (methods x datasets x measure suite) and returns
 /// long-format rows plus failures. Results are cached as CSV in

@@ -12,6 +12,8 @@
 #   All grid summaries and timing-stripped snapshots must compare equal.
 #
 # Usage: scripts/ci_dispatch_identity.sh [build_dir]   (default: build)
+# The work dir (under TSG_WORK_ROOT, default /tmp) is kept on failure so CI can
+# archive the summaries and metrics snapshots for debugging.
 
 set -euo pipefail
 
@@ -22,8 +24,18 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-WORK="$(mktemp -d /tmp/tsg_dispatch_identity.XXXXXX)"
-trap 'rm -rf "$WORK"' EXIT
+WORK_ROOT="${TSG_WORK_ROOT:-/tmp}"
+mkdir -p "$WORK_ROOT"
+WORK="$(mktemp -d "$WORK_ROOT/tsg_dispatch_identity.XXXXXX")"
+cleanup() {
+  local rc=$?
+  if [[ "$rc" -eq 0 ]]; then
+    rm -rf "$WORK"
+  else
+    echo "FAILED (exit $rc): keeping $WORK for debugging" >&2
+  fi
+}
+trap cleanup EXIT
 
 export TSGBENCH_SCALE=0.1
 export TSGBENCH_SEED=7

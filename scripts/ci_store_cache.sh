@@ -9,6 +9,8 @@
 #      timing-stripped metric snapshots must agree on every grid counter.
 #
 # Usage: scripts/ci_store_cache.sh [build_dir]   (default: build)
+# The work dir (under TSG_WORK_ROOT, default /tmp) is kept on failure so CI can
+# archive the store, checkpoints, and metrics snapshots for debugging.
 
 set -euo pipefail
 
@@ -19,8 +21,18 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-WORK="$(mktemp -d /tmp/tsg_store_cache.XXXXXX)"
-trap 'rm -rf "$WORK"' EXIT
+WORK_ROOT="${TSG_WORK_ROOT:-/tmp}"
+mkdir -p "$WORK_ROOT"
+WORK="$(mktemp -d "$WORK_ROOT/tsg_store_cache.XXXXXX")"
+cleanup() {
+  local rc=$?
+  if [[ "$rc" -eq 0 ]]; then
+    rm -rf "$WORK"
+  else
+    echo "FAILED (exit $rc): keeping $WORK for debugging" >&2
+  fi
+}
+trap cleanup EXIT
 
 export TSGBENCH_SCALE=0.1
 export TSGBENCH_SEED=7

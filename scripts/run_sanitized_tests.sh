@@ -8,7 +8,7 @@
 # are passed to ctest, e.g. `-R CsvTest` to run a subset.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 # halt_on_error is implied by -fno-sanitize-recover=all; detect_leaks stays on by
 # default where LeakSanitizer is supported.

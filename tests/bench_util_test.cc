@@ -1,3 +1,6 @@
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -10,9 +13,11 @@
 
 #include "ag/ops.h"
 #include "bench_util.h"
+#include "io/lease.h"
 #include "methods/common.h"
 #include "methods/factory.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 
 namespace tsg::bench {
 namespace {
@@ -253,6 +258,228 @@ TEST(GridResumeTest, InterruptedGridResumesByteIdentical) {
 
   std::filesystem::remove_all(clean.out_dir);
   std::filesystem::remove_all(resumed.out_dir);
+}
+
+// ---- Sharded execution (ISSUE 8): lease-claimed workers and the supervisor
+// merge must reproduce the single-process grid byte for byte, reclaim cells
+// whose owner died, and surface error cells through the merge. ----
+
+/// Returns the value of a global counter (0 when it does not exist yet).
+int64_t CounterValue(const std::string& name) {
+  return obs::MetricRegistry::Global().GetCounter(name).value();
+}
+
+/// The lease path RunGridShard uses for (TimeVAE, DLG) cells — both names are
+/// filesystem-safe, so the mapping is the checkpoint path + ".lease".
+std::string LeasePathFor(const BenchConfig& config, const std::string& method,
+                         const std::string& dataset) {
+  return CheckpointDir(config) + "/" + method + "__" + dataset + ".csv.lease";
+}
+
+/// A token whose pid is guaranteed dead on this host: a reaped fork child.
+std::string DeadOwnerToken() {
+  const pid_t child = fork();
+  EXPECT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int wstatus = 0;
+  EXPECT_EQ(waitpid(child, &wstatus, 0), child);
+  char host[256] = {};
+  EXPECT_EQ(gethostname(host, sizeof(host) - 1), 0);
+  return std::string(host) + ":" + std::to_string(child) + ":dead";
+}
+
+TEST(ShardedGridTest, WorkerPlusStrictMergeMatchesSingleProcessByteForByte) {
+  const std::vector<std::string> methods = {"TimeVAE"};
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg,
+                                                 data::DatasetId::kStock};
+  BenchConfig clean;
+  clean.scale = 0.2;
+  clean.out_dir = "/tmp/tsg_shard_clean";
+  std::filesystem::remove_all(clean.out_dir);
+  std::filesystem::create_directories(clean.out_dir);
+  const auto clean_grid = RunGrid(clean, methods, datasets);
+  ASSERT_TRUE(clean_grid.failures.empty());
+
+  BenchConfig sharded = clean;
+  sharded.out_dir = "/tmp/tsg_shard_worker";
+  std::filesystem::remove_all(sharded.out_dir);
+  std::filesystem::create_directories(sharded.out_dir);
+  ShardOptions options;
+  options.worker_label = "test-shard";
+  const auto completed = RunGridShard(sharded, methods, datasets, options);
+  ASSERT_TRUE(completed.ok()) << completed.status().ToString();
+  EXPECT_EQ(completed.value(), 2);
+
+  // Strict merge: every cell must come from a worker checkpoint.
+  MergeOptions merge_options;
+  merge_options.compute_missing = false;
+  const auto merged = MergeGridShards(sharded, methods, datasets, merge_options);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged.value().rows.size(), clean_grid.rows.size());
+
+  const std::string clean_summary = ReadWholeFile(GridSummaryPath(clean));
+  const std::string merged_summary = ReadWholeFile(GridSummaryPath(sharded));
+  ASSERT_FALSE(clean_summary.empty());
+  EXPECT_EQ(clean_summary, merged_summary);
+
+  // An overlapping second worker finds every cell checkpointed: zero computed.
+  const auto again = RunGridShard(sharded, methods, datasets, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0);
+
+  std::filesystem::remove_all(clean.out_dir);
+  std::filesystem::remove_all(sharded.out_dir);
+}
+
+TEST(ShardedGridTest, DeadOwnersLeaseIsStolenAndCellReclaimed) {
+  const std::vector<std::string> methods = {"TimeVAE"};
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg};
+  BenchConfig config;
+  config.scale = 0.2;
+  config.out_dir = "/tmp/tsg_shard_reclaim";
+  std::filesystem::remove_all(config.out_dir);
+  std::filesystem::create_directories(CheckpointDir(config));
+
+  // A worker died mid-cell: its lease survives, no checkpoint exists.
+  const std::string lease = LeasePathFor(config, "TimeVAE", "DLG");
+  ASSERT_TRUE(io::AcquireLease(lease, DeadOwnerToken()).value());
+
+  const int64_t reclaimed_before = CounterValue("grid.cells.reclaimed");
+  const int64_t stolen_before = CounterValue("grid.shard.leases.stolen");
+  ShardOptions options;
+  options.worker_label = "test-reclaim";
+  const auto completed = RunGridShard(config, methods, datasets, options);
+  ASSERT_TRUE(completed.ok()) << completed.status().ToString();
+  EXPECT_EQ(completed.value(), 1);
+  EXPECT_EQ(CounterValue("grid.cells.reclaimed"), reclaimed_before + 1);
+  EXPECT_EQ(CounterValue("grid.shard.leases.stolen"), stolen_before + 1);
+  EXPECT_FALSE(std::filesystem::exists(lease));
+
+  std::filesystem::remove_all(config.out_dir);
+}
+
+TEST(ShardedGridTest, LiveLeaseTimesOutWorkerAndBlocksMerge) {
+  const std::vector<std::string> methods = {"TimeVAE"};
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg};
+  BenchConfig config;
+  config.scale = 0.2;
+  config.out_dir = "/tmp/tsg_shard_live";
+  std::filesystem::remove_all(config.out_dir);
+  std::filesystem::create_directories(CheckpointDir(config));
+
+  // Our own (live) pid holds the cell, as a healthy concurrent worker would.
+  const std::string lease = LeasePathFor(config, "TimeVAE", "DLG");
+  ASSERT_TRUE(io::AcquireLease(lease, io::LeaseOwnerToken()).value());
+
+  ShardOptions options;
+  options.worker_label = "test-live";
+  options.max_wait_seconds = 0.2;
+  options.poll_seconds = 0.02;
+  const auto completed = RunGridShard(config, methods, datasets, options);
+  ASSERT_FALSE(completed.ok());
+  EXPECT_EQ(completed.status().code(), StatusCode::kFailedPrecondition);
+
+  MergeOptions merge_options;
+  const auto merged = MergeGridShards(config, methods, datasets, merge_options);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kFailedPrecondition);
+
+  std::filesystem::remove_all(config.out_dir);
+}
+
+TEST(ShardedGridTest, StrictMergeFailsOnMissingCheckpoint) {
+  const std::vector<std::string> methods = {"TimeVAE"};
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg};
+  BenchConfig config;
+  config.scale = 0.2;
+  config.out_dir = "/tmp/tsg_shard_missing";
+  std::filesystem::remove_all(config.out_dir);
+  std::filesystem::create_directories(config.out_dir);
+
+  MergeOptions options;
+  options.compute_missing = false;
+  const auto merged = MergeGridShards(config, methods, datasets, options);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kNotFound);
+
+  std::filesystem::remove_all(config.out_dir);
+}
+
+TEST(ShardedGridTest, MergeComputesMissingCellsAndMatchesCleanRun) {
+  const std::vector<std::string> methods = {"TimeVAE"};
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg};
+  BenchConfig clean;
+  clean.scale = 0.2;
+  clean.out_dir = "/tmp/tsg_merge_clean";
+  std::filesystem::remove_all(clean.out_dir);
+  std::filesystem::create_directories(clean.out_dir);
+  const auto clean_grid = RunGrid(clean, methods, datasets);
+  ASSERT_TRUE(clean_grid.failures.empty());
+
+  // No worker ran at all: the supervisor computes the whole grid itself. A
+  // dangling dead lease on the cell must not stop it.
+  BenchConfig merged_config = clean;
+  merged_config.out_dir = "/tmp/tsg_merge_computes";
+  std::filesystem::remove_all(merged_config.out_dir);
+  std::filesystem::create_directories(CheckpointDir(merged_config));
+  ASSERT_TRUE(io::AcquireLease(LeasePathFor(merged_config, "TimeVAE", "DLG"),
+                               DeadOwnerToken())
+                  .value());
+
+  const int64_t reclaimed_before =
+      CounterValue("grid.shard.merge.leases_reclaimed");
+  MergeOptions options;
+  options.compute_missing = true;
+  const auto merged = MergeGridShards(merged_config, methods, datasets, options);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged.value().rows.size(), clean_grid.rows.size());
+  EXPECT_EQ(CounterValue("grid.shard.merge.leases_reclaimed"),
+            reclaimed_before + 1);
+
+  const std::string clean_summary = ReadWholeFile(GridSummaryPath(clean));
+  const std::string merged_summary = ReadWholeFile(GridSummaryPath(merged_config));
+  ASSERT_FALSE(clean_summary.empty());
+  EXPECT_EQ(clean_summary, merged_summary);
+
+  std::filesystem::remove_all(clean.out_dir);
+  std::filesystem::remove_all(merged_config.out_dir);
+}
+
+TEST(ShardedGridTest, MergeCarriesErrorCellsFromWorkerCheckpoints) {
+  static const bool registered = [] {
+    methods::RegisterMethod("ShardFaulty",
+                            [] { return std::make_unique<FaultyNaNMethod>(); });
+    return true;
+  }();
+  (void)registered;
+
+  const std::vector<std::string> methods = {"TimeVAE", "ShardFaulty"};
+  const std::vector<data::DatasetId> datasets = {data::DatasetId::kDlg};
+  BenchConfig config;
+  config.scale = 0.2;
+  config.out_dir = "/tmp/tsg_shard_errors";
+  std::filesystem::remove_all(config.out_dir);
+  std::filesystem::create_directories(config.out_dir);
+
+  ShardOptions options;
+  options.worker_label = "test-errors";
+  const auto completed = RunGridShard(config, methods, datasets, options);
+  ASSERT_TRUE(completed.ok()) << completed.status().ToString();
+  EXPECT_EQ(completed.value(), 2);  // The failing cell still checkpoints.
+
+  MergeOptions merge_options;
+  merge_options.compute_missing = false;
+  const auto merged = MergeGridShards(config, methods, datasets, merge_options);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged.value().failures.size(), 1u);
+  EXPECT_EQ(merged.value().failures[0].method, "ShardFaulty");
+  ASSERT_FALSE(merged.value().rows.empty());
+
+  const std::string summary = ReadWholeFile(GridSummaryPath(config));
+  EXPECT_NE(summary.find("\"status\":\"error\""), std::string::npos) << summary;
+  EXPECT_NE(summary.find("\"status\":\"ok\""), std::string::npos) << summary;
+
+  std::filesystem::remove_all(config.out_dir);
 }
 
 }  // namespace

@@ -1,13 +1,20 @@
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "io/atomic_file.h"
 #include "io/csv.h"
 #include "io/json.h"
+#include "io/lease.h"
 #include "io/table.h"
 
 namespace tsg::io {
@@ -193,6 +200,116 @@ TEST(AtomicFileTest, WritesContentAndLeavesNoTempFile) {
 
 TEST(AtomicFileTest, BadDirectoryFails) {
   EXPECT_FALSE(WriteFileAtomic("/nonexistent/dir/x.txt", "x").ok());
+}
+
+TEST(LeaseTest, AcquireIsExclusive) {
+  const std::string path = TempPath("tsg_lease_excl.lease");
+  std::filesystem::remove(path);
+  const auto first = AcquireLease(path, LeaseOwnerToken());
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value());
+  const auto second = AcquireLease(path, "other:1:1");
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value());  // Already held, not an error.
+  ASSERT_TRUE(ReleaseLease(path, LeaseOwnerToken()).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(LeaseTest, ReleaseRefusesForeignToken) {
+  const std::string path = TempPath("tsg_lease_foreign.lease");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(AcquireLease(path, "thief:12:34").value());
+  const Status release = ReleaseLease(path, LeaseOwnerToken());
+  EXPECT_EQ(release.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(std::filesystem::exists(path));  // The holder's file survives.
+  std::filesystem::remove(path);
+}
+
+TEST(LeaseTest, ProbeClassifiesOwnLeaseAsLive) {
+  const std::string path = TempPath("tsg_lease_live.lease");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(AcquireLease(path, LeaseOwnerToken()).value());
+  // Our own pid is alive, so even a zero TTL cannot mark the lease stale.
+  EXPECT_EQ(ProbeLease(path, 0.0), LeaseState::kLive);
+  std::filesystem::remove(path);
+  EXPECT_EQ(ProbeLease(path, 0.0), LeaseState::kFree);
+}
+
+TEST(LeaseTest, ProbeDetectsDeadSameHostOwner) {
+  // A forked child that has already exited and been reaped gives a pid that is
+  // guaranteed dead — the exact state a killed worker leaves behind.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+
+  char host[256] = {};
+  ASSERT_EQ(gethostname(host, sizeof(host) - 1), 0);
+  const std::string path = TempPath("tsg_lease_dead.lease");
+  std::filesystem::remove(path);
+  const std::string dead_token =
+      std::string(host) + ":" + std::to_string(child) + ":feed";
+  ASSERT_TRUE(AcquireLease(path, dead_token).value());
+  // Dead owners are reclaimable immediately, with any TTL.
+  EXPECT_EQ(ProbeLease(path, 1e9), LeaseState::kDead);
+  std::filesystem::remove(path);
+}
+
+TEST(LeaseTest, ProbeAppliesTtlToForeignHosts) {
+  const std::string path = TempPath("tsg_lease_ttl.lease");
+  std::filesystem::remove(path);
+  // A foreign host cannot be pid-probed, so only the age TTL applies.
+  ASSERT_TRUE(AcquireLease(path, "some-other-host:1:1").value());
+  EXPECT_EQ(ProbeLease(path, 1e9), LeaseState::kLive);
+  EXPECT_EQ(ProbeLease(path, 0.0), LeaseState::kDead);
+  std::filesystem::remove(path);
+}
+
+TEST(LeaseTest, BreakLeaseHandsExactlyOneStealerTheWin) {
+  const std::string path = TempPath("tsg_lease_steal.lease");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(AcquireLease(path, "casualty:999999:0").value());
+
+  constexpr int kStealers = 8;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kStealers);
+  for (int i = 0; i < kStealers; ++i) {
+    threads.emplace_back([&, i] {
+      const auto broke = BreakLease(path, "stealer:1:" + std::to_string(i));
+      if (broke.ok() && broke.value()) wins.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wins.load(), 1);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // No stale sidecars survive a successful break.
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::temp_directory_path())) {
+    EXPECT_EQ(entry.path().filename().string().find("tsg_lease_steal"),
+              std::string::npos)
+        << entry.path();
+  }
+}
+
+TEST(LeaseTest, ConcurrentAcquireHandsExactlyOneClaimantTheWin) {
+  const std::string path = TempPath("tsg_lease_race.lease");
+  std::filesystem::remove(path);
+  constexpr int kClaimants = 8;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClaimants);
+  for (int i = 0; i < kClaimants; ++i) {
+    threads.emplace_back([&, i] {
+      const auto got = AcquireLease(path, "claimant:1:" + std::to_string(i));
+      if (got.ok() && got.value()) wins.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wins.load(), 1);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
 }
 
 TEST(JsonWriterTest, ObjectsArraysAndEscaping) {
