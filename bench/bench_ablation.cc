@@ -177,6 +177,9 @@ void AblationDsVariance(const tsg::bench::BenchConfig& config) {
 
 int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, "bench_ablation [--metrics_out=<path>]")) {
+    return 2;
+  }
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   std::printf("=== Ablation benches (design choices) ===\n");
   AblationPairing(config);

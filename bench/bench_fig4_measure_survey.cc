@@ -11,6 +11,9 @@
 
 int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, "bench_fig4_measure_survey [--metrics_out=<path>]")) {
+    return 2;
+  }
   using tsg::core::MeasureSurvey;
   using tsg::core::MeasureSurveyColumns;
 

@@ -14,6 +14,9 @@
 
 int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, "bench_fig6_visualization [--metrics_out=<path>]")) {
+    return 2;
+  }
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
 
   // The paper's Figure 6 shows a representative subset; we use the datasets its

@@ -44,6 +44,9 @@ Dataset PrepareDomain(tsg::data::DatasetId id, int domain_index,
 
 int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, "bench_fig7_generalization [--metrics_out=<path>]")) {
+    return 2;
+  }
   const BenchConfig config = tsg::bench::LoadConfig();
   // The paper's Figure 7 method selection: efficient leaders + TimeGAN baseline.
   const std::vector<std::string> method_names = {"TimeGAN", "TimeVAE", "COSCI-GAN",

@@ -13,6 +13,9 @@
 
 int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, "bench_fig8_critical_difference [--metrics_out=<path>]")) {
+    return 2;
+  }
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   const auto& methods = tsg::methods::AllMethodNames();
   const auto grid =

@@ -30,6 +30,13 @@ int main(int argc, char** argv) {
   if (tsg::bench::ConsumeFlagValue(&argc, argv, "lease_stale_seconds", &value)) {
     options.lease_stale_seconds = std::atof(value.c_str());
   }
+  if (!tsg::bench::RequireNoUnknownFlags(
+          argc, argv,
+          "bench_grid_merge [--methods=A,B] [--datasets=d1,d2] "
+          "[--require_complete] [--lease_stale_seconds=<s>] "
+          "[--metrics_out=<path>]")) {
+    return 2;
+  }
   if (argc > 1) {
     std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
     return 2;

@@ -35,6 +35,13 @@ int main(int argc, char** argv) {
   if (tsg::bench::ConsumeFlagValue(&argc, argv, "max_wait_seconds", &value)) {
     options.max_wait_seconds = std::atof(value.c_str());
   }
+  if (!tsg::bench::RequireNoUnknownFlags(
+          argc, argv,
+          "bench_grid_worker [--methods=A,B] [--datasets=d1,d2] "
+          "[--worker_id=<label>] [--lease_stale_seconds=<s>] "
+          "[--max_wait_seconds=<s>] [--metrics_out=<path>]")) {
+    return 2;
+  }
   if (argc > 1) {
     std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
     return 2;

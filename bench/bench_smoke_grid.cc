@@ -110,6 +110,11 @@ int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
   const bool shard_mode = tsg::bench::ConsumeFlag(&argc, argv, "shard");
   const bool merge_mode = tsg::bench::ConsumeFlag(&argc, argv, "merge");
+  if (!tsg::bench::RequireNoUnknownFlags(
+          argc, argv,
+          "bench_smoke_grid [--shard | --merge] [--metrics_out=<path>]")) {
+    return 2;
+  }
   tsg::bench::RegisterSmokeMethod("SmokeVAE", "TimeVAE");
   tsg::bench::RegisterSmokeMethod("SmokeLS4", "LS4");
 

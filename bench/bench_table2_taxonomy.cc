@@ -9,6 +9,9 @@
 
 int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, "bench_table2_taxonomy [--metrics_out=<path>]")) {
+    return 2;
+  }
   std::printf("=== Table 2: Summary of popular TSG methods ===\n\n");
   tsg::io::Table table({"Year", "Method", "Model", "Specialty", "Evaluated"});
   for (const auto& entry : tsg::core::Taxonomy()) {

@@ -10,6 +10,9 @@
 
 int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, "bench_table3_datasets [--metrics_out=<path>]")) {
+    return 2;
+  }
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   std::printf("=== Table 3: dataset statistics (scale=%.2f) ===\n\n", config.scale);
 

@@ -50,6 +50,9 @@ void RunShape(tsg::core::Harness& harness, int64_t count, int64_t l, int64_t n,
 
 int main(int argc, char** argv) {
   tsg::bench::ParseBenchFlags(&argc, argv);
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, "bench_table4_robustness [--metrics_out=<path>]")) {
+    return 2;
+  }
   const tsg::bench::BenchConfig config = tsg::bench::LoadConfig();
   // The paper uses 10,000 series; scale it down for quick runs.
   const int64_t count =

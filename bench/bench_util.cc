@@ -63,6 +63,18 @@ bool ConsumeFlag(int* argc, char** argv, const std::string& name) {
   return found;
 }
 
+bool RequireNoUnknownFlags(int argc, char** argv, const std::string& usage) {
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      ok = false;
+    }
+  }
+  if (!ok) std::fprintf(stderr, "usage: %s\n", usage.c_str());
+  return ok;
+}
+
 bool ConsumeFlagValue(int* argc, char** argv, const std::string& name,
                       std::string* value) {
   const std::string prefix = "--" + name + "=";
@@ -371,13 +383,7 @@ struct GridHarness {
 };
 
 GridHarness MakeGridHarness(const BenchConfig& config) {
-  core::HarnessOptions options;
-  options.fit.epoch_scale = config.epoch_scale();
-  options.fit.seed = config.seed;
-  options.stochastic_repeats = config.stochastic_repeats();
-  options.max_eval_samples = config.max_eval_samples();
-  options.embedder.epochs = std::max(4, static_cast<int>(10 * config.scale));
-  options.seed = config.seed;
+  core::HarnessOptions options = GridHarnessOptions(config);
   GridHarness grid;
   // With a store configured, every cell checks for a prior fitted model before
   // training and publishes its model after. ArtifactStore is stateless over
@@ -462,6 +468,17 @@ class LazyDatasets {
 };
 
 }  // namespace
+
+core::HarnessOptions GridHarnessOptions(const BenchConfig& config) {
+  core::HarnessOptions options;
+  options.fit.epoch_scale = config.epoch_scale();
+  options.fit.seed = config.seed;
+  options.stochastic_repeats = config.stochastic_repeats();
+  options.max_eval_samples = config.max_eval_samples();
+  options.embedder.epochs = std::max(4, static_cast<int>(10 * config.scale));
+  options.seed = config.seed;
+  return options;
+}
 
 std::string CheckpointDir(const BenchConfig& config) {
   return config.out_dir + "/grid_ckpt_" + ConfigKey(config);
@@ -590,6 +607,13 @@ StatusOr<int64_t> RunGridShard(const BenchConfig& config,
   for (;;) {
     bool progressed = false;
     for (int64_t cell = 0; cell < num_cells; ++cell) {
+      if (options.should_stop && options.should_stop()) {
+        metrics.GetCounter("grid.shard.stopped").Add();
+        std::fprintf(stderr, "[%s] stop requested after %lld cells\n", label,
+                     static_cast<long long>(completed));
+        return Status::FailedPrecondition(options.worker_label +
+                                          ": stopped before grid completion");
+      }
       if (done[static_cast<size_t>(cell)]) continue;
       const size_t di = static_cast<size_t>(cell / num_methods);
       const std::string dataset = data::DatasetName(datasets[di]);
@@ -687,6 +711,11 @@ StatusOr<int64_t> RunGridShard(const BenchConfig& config,
       return Status::FailedPrecondition(
           options.worker_label + ": no progress for " +
           std::to_string(waited) + "s waiting on cells held by live workers");
+    }
+    if (options.should_stop && options.should_stop()) {
+      metrics.GetCounter("grid.shard.stopped").Add();
+      return Status::FailedPrecondition(options.worker_label +
+                                        ": stopped before grid completion");
     }
     std::this_thread::sleep_for(
         std::chrono::duration<double>(options.poll_seconds));

@@ -2,6 +2,7 @@
 #define TSG_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,14 @@ BenchConfig LoadConfig();
 /// first in main, before benchmark::Initialize for Google Benchmark binaries).
 /// Currently recognizes --metrics_out=<path>, which arms WriteMetricsSnapshot().
 void ParseBenchFlags(int* argc, char** argv);
+
+/// Terminal flag-parsing step: call after every Consume* call has stripped the
+/// flags the binary understands. Any `--name[=value]` argument still present is
+/// unknown — the function prints "unknown flag" plus `usage` to stderr and
+/// returns false so main can exit 2, instead of the old behavior of silently
+/// ignoring a mistyped flag and running the full (possibly hours-long) job
+/// with its default. Non-flag positional arguments are left alone.
+bool RequireNoUnknownFlags(int argc, char** argv, const std::string& usage);
 
 /// Removes a bare `--<name>` flag from argv; returns true when it was present.
 bool ConsumeFlag(int* argc, char** argv, const std::string& name);
@@ -86,6 +95,12 @@ struct GridResult {
 /// Preprocesses one simulated dataset under the benchmark defaults.
 core::Preprocessed PrepareDataset(data::DatasetId id, const BenchConfig& config);
 
+/// The harness configuration every grid execution mode derives from `config`
+/// (options.store left null — callers attach their own). Exported so out-of-
+/// process servers (the tsgd daemon) evaluate cells with exactly the options a
+/// batch grid would, which is what makes their results byte-identical.
+core::HarnessOptions GridHarnessOptions(const BenchConfig& config);
+
 /// Directory holding one atomically written checkpoint file per completed
 /// (method, dataset) cell, keyed by the config. A killed grid run resumes from
 /// these: completed cells are loaded instead of recomputed, and because every
@@ -129,6 +144,12 @@ struct ShardOptions {
   /// hung live owner would otherwise block the worker forever).
   double max_wait_seconds = 600.0;
   double poll_seconds = 0.05;  ///< Sleep between sweeps while waiting.
+  /// Cooperative stop hook for long-running hosts (the tsgd daemon's drain and
+  /// cancel paths). Polled between cells, never mid-cell: when it returns true
+  /// the worker stops claiming cells and returns FailedPrecondition. Cells
+  /// already checkpointed stay durable, so a later run of the same config
+  /// resumes from them byte-identically. Null = never stop.
+  std::function<bool()> should_stop;
 };
 
 /// Sweeps the (method, dataset) grid claiming pending cells per ShardOptions

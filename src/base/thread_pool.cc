@@ -58,6 +58,11 @@ void ThreadPool::EnsureWorkersLocked(int count) {
   }
 }
 
+void ThreadPool::EnsureScheduleWorkers(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureWorkersLocked(std::min(count, 256));
+}
+
 void ThreadPool::Schedule(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -98,6 +103,12 @@ void ThreadPool::WorkerLoop() {
 }
 
 bool InParallelRegion() { return t_in_parallel_region; }
+
+ParallelRegionGuard::ParallelRegionGuard() : saved_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+ParallelRegionGuard::~ParallelRegionGuard() { t_in_parallel_region = saved_; }
 
 namespace {
 

@@ -57,6 +57,13 @@ class ThreadPool {
   /// for ad-hoc background work.
   void Schedule(std::function<void()> task);
 
+  /// Guarantees at least `count` worker threads exist so Schedule()d tasks make
+  /// progress even when max_parallelism() == 1 (a 1-wide pool holds zero workers
+  /// — ParallelFor runs inline — so scheduled work would otherwise sit queued
+  /// forever). Does NOT change max_parallelism: loops stay as serial as
+  /// configured; only the background-task capacity grows. Never shrinks.
+  void EnsureScheduleWorkers(int count);
+
   /// Snapshot of the cumulative utilization counters (relaxed reads).
   ThreadPoolStats stats() const;
 
@@ -93,6 +100,24 @@ class ThreadPool {
 /// constructs check this and run serially instead of blocking on a pool whose
 /// workers may all be occupied by the outer loop.
 bool InParallelRegion();
+
+/// Marks the calling thread as inside a parallel region for the guard's
+/// lifetime, so every ParallelFor it reaches runs inline. Required whenever a
+/// long-running task is Schedule()d onto a pool worker (the tsgd daemon's job
+/// execution): if such a task fanned a nested loop onto the pool while sibling
+/// tasks occupy every worker, the fan-out's helper tasks could never run and
+/// the workers would deadlock waiting on each other. Inline execution is safe
+/// because ParallelFor results are bit-identical at any parallelism.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+  ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+  ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+
+ private:
+  bool saved_;
+};
 
 namespace detail {
 /// Fan-out path of ParallelFor; only reached when the loop actually forks, so

@@ -10,8 +10,10 @@ namespace tsg::io {
 /// Escapes a string for use inside a JSON string literal (without the quotes).
 std::string JsonEscape(const std::string& s);
 
-/// Minimal streaming JSON writer for bench artifacts. Write-only by design — the
-/// repo never parses JSON back; resumable state lives in the CSV checkpoints.
+/// Minimal streaming JSON writer for bench artifacts and the daemon line
+/// protocol. Artifacts are write-only — resumable state lives in the CSV
+/// checkpoints — while protocol messages are read back via io::JsonValue
+/// (json_parse.h).
 /// Commas are inserted automatically; doubles are printed with %.17g so the same
 /// double always produces the same bytes (byte-identical artifacts across runs).
 /// Non-finite doubles are emitted as null, since JSON has no NaN/Inf literals.

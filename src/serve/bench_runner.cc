@@ -1,0 +1,228 @@
+#include "serve/bench_runner.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "base/fnv.h"
+#include "base/stopwatch.h"
+#include "base/thread_pool.h"
+#include "io/atomic_file.h"
+#include "io/json.h"
+#include "methods/factory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tsg::serve {
+
+namespace {
+
+obs::Counter& ServeCounter(const char* name) {
+  return obs::MetricRegistry::Global().GetCounter(name);
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Order- and layout-pinned digest of a generated batch: per block, per series,
+/// shape then row-major values. Equal bytes in, equal digest out — the CI
+/// smoke test compares this across daemon restarts and against a cold restore.
+uint64_t DigestGenerated(
+    const std::vector<std::vector<linalg::Matrix>>& blocks) {
+  base::Fnv64 fnv;
+  for (const auto& block : blocks) {
+    fnv.U64(block.size());
+    for (const linalg::Matrix& series : block) {
+      fnv.I64(series.rows()).I64(series.cols());
+      fnv.Bytes(series.data(),
+                static_cast<size_t>(series.size()) * sizeof(double));
+    }
+  }
+  return fnv.digest();
+}
+
+std::string JoinCsv(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ",";
+    out += item;
+  }
+  return out;
+}
+
+/// Raw comma-led members from a JsonWriter-rendered object: "{...}" -> ",...".
+std::string AsRawMembers(const io::JsonWriter& json) {
+  const std::string& doc = json.str();
+  if (doc.size() <= 2) return "";  // "{}"
+  return "," + doc.substr(1, doc.size() - 2);
+}
+
+}  // namespace
+
+BenchJobRunner::BenchJobRunner(bench::BenchConfig config)
+    : config_(std::move(config)) {
+  store_ = std::make_unique<store::ArtifactStore>(config_.store_dir);
+  cache_ = std::make_unique<store::ServingCache>(store_.get());
+  core::HarnessOptions options = bench::GridHarnessOptions(config_);
+  options.store = store_.get();
+  harness_ = std::make_unique<core::Harness>(options);
+}
+
+StatusOr<const core::Preprocessed*> BenchJobRunner::GetDataset(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(name);
+  if (it != datasets_.end()) {
+    const core::Preprocessed* cached = it->second.get();
+    return cached;
+  }
+  TSG_ASSIGN_OR_RETURN(const std::vector<data::DatasetId> ids,
+                       bench::ParseDatasetList(name));
+  if (ids.size() != 1) {
+    return Status::InvalidArgument("expected one dataset, got: " + name);
+  }
+  const obs::ScopedTimer prepare_span("serve.prepare_dataset");
+  auto pre = std::make_unique<core::Preprocessed>(
+      bench::PrepareDataset(ids[0], config_));
+  const core::Preprocessed* raw = pre.get();
+  datasets_.emplace(name, std::move(pre));
+  return raw;
+}
+
+StatusOr<core::ModelKey> BenchJobRunner::KeyFor(const std::string& method,
+                                                const core::Preprocessed& pre) {
+  TSG_ASSIGN_OR_RETURN(const std::unique_ptr<core::TsgMethod> instance,
+                       methods::CreateMethod(method));
+  const core::HarnessOptions& options = harness_->options();
+  core::ModelKey key;
+  key.method = instance->name();
+  key.hyper_digest = instance->HyperparameterDigest();
+  key.dataset_fingerprint = pre.train.Fingerprint();
+  key.seed = options.fit.seed;
+  key.epoch_scale = options.fit.epoch_scale;
+  key.batch_size = options.fit.batch_size;
+  return key;
+}
+
+StatusOr<std::string> BenchJobRunner::Run(
+    const JobSpec& spec, const std::function<bool()>& should_stop) {
+  // Jobs run on pool workers; the guard keeps their inner loops off the pool
+  // (see ParallelRegionGuard) so concurrent jobs cannot deadlock it.
+  const base::ParallelRegionGuard serial_guard;
+  const obs::ScopedTimer job_span("serve.job");
+  switch (spec.kind) {
+    case JobKind::kFit: return RunFit(spec);
+    case JobKind::kGenerate: return RunGenerate(spec);
+    case JobKind::kEvaluate: return RunEvaluate(spec);
+    case JobKind::kGrid: return RunGridJob(spec, should_stop);
+  }
+  return Status::Internal("unhandled job kind");
+}
+
+StatusOr<std::string> BenchJobRunner::RunFit(const JobSpec& spec) {
+  ServeCounter("serve.jobs.fit").Add();
+  TSG_ASSIGN_OR_RETURN(const core::Preprocessed* pre, GetDataset(spec.dataset));
+  TSG_ASSIGN_OR_RETURN(const core::ModelKey key, KeyFor(spec.method, *pre));
+  bool trained = false;
+  double fit_seconds = 0.0;
+  if (!store_->Load(key).ok()) {
+    // Exactly the harness fit path: same FitOptions, same Snapshot/Save, so
+    // the published artifact is byte-identical to one a grid cell would write.
+    TSG_ASSIGN_OR_RETURN(const std::unique_ptr<core::TsgMethod> method,
+                         methods::CreateMethod(spec.method));
+    Stopwatch watch;
+    TSG_RETURN_IF_ERROR(method->Fit(pre->train, harness_->options().fit));
+    fit_seconds = watch.ElapsedSeconds();
+    TSG_ASSIGN_OR_RETURN(const core::MethodSnapshot snapshot,
+                         method->Snapshot());
+    TSG_RETURN_IF_ERROR(store_->Save(key, snapshot));
+    trained = true;
+  }
+  io::JsonWriter json;
+  json.BeginObject();
+  json.Key("model").String(HexU64(store::ArtifactStore::KeyAddress(key)));
+  json.Key("path").String(store_->PathFor(key));
+  json.Key("trained").Bool(trained);
+  json.Key("fit_seconds").Number(fit_seconds);
+  json.EndObject();
+  return AsRawMembers(json);
+}
+
+StatusOr<std::string> BenchJobRunner::RunGenerate(const JobSpec& spec) {
+  ServeCounter("serve.jobs.generate").Add();
+  TSG_ASSIGN_OR_RETURN(const core::Preprocessed* pre, GetDataset(spec.dataset));
+  TSG_ASSIGN_OR_RETURN(const core::ModelKey key, KeyFor(spec.method, *pre));
+  std::vector<core::GenRequest> requests(1);
+  requests[0].count = spec.count;
+  requests[0].seed = spec.gen_seed;
+  TSG_ASSIGN_OR_RETURN(const std::vector<std::vector<linalg::Matrix>> blocks,
+                       cache_->Generate(key, requests));
+  int64_t series = 0;
+  for (const auto& block : blocks) series += static_cast<int64_t>(block.size());
+  io::JsonWriter json;
+  json.BeginObject();
+  json.Key("count").Int(series);
+  json.Key("digest").String(HexU64(DigestGenerated(blocks)));
+  json.EndObject();
+  return AsRawMembers(json);
+}
+
+StatusOr<std::string> BenchJobRunner::RunEvaluate(const JobSpec& spec) {
+  ServeCounter("serve.jobs.evaluate").Add();
+  TSG_ASSIGN_OR_RETURN(const core::Preprocessed* pre, GetDataset(spec.dataset));
+  TSG_ASSIGN_OR_RETURN(const std::unique_ptr<core::TsgMethod> method,
+                       methods::CreateMethod(spec.method));
+  TSG_ASSIGN_OR_RETURN(const core::MethodRunResult result,
+                       harness_->RunMethod(*method, pre->train, pre->test));
+  io::JsonWriter json;
+  json.BeginObject();
+  json.Key("method").String(result.method);
+  json.Key("dataset").String(result.dataset);
+  json.Key("scores").BeginObject();
+  for (const auto& [measure, summary] : result.scores) {
+    json.Key(measure).BeginObject();
+    json.Key("mean").Number(summary.mean);
+    json.Key("stddev").Number(summary.std);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.Key("fit_seconds").Number(result.fit_seconds);
+  json.EndObject();
+  return AsRawMembers(json);
+}
+
+StatusOr<std::string> BenchJobRunner::RunGridJob(
+    const JobSpec& spec, const std::function<bool()>& should_stop) {
+  ServeCounter("serve.jobs.grid").Add();
+  TSG_ASSIGN_OR_RETURN(const std::vector<std::string> methods,
+                       bench::ParseMethodList(JoinCsv(spec.methods)));
+  TSG_ASSIGN_OR_RETURN(const std::vector<data::DatasetId> datasets,
+                       bench::ParseDatasetList(JoinCsv(spec.datasets)));
+  bench::ShardOptions options;
+  options.worker_label = "tsgd-grid";
+  options.should_stop = should_stop;
+  TSG_ASSIGN_OR_RETURN(const int64_t computed,
+                       bench::RunGridShard(config_, methods, datasets, options));
+  TSG_ASSIGN_OR_RETURN(const bench::GridResult merged,
+                       bench::MergeGridShards(config_, methods, datasets,
+                                              bench::MergeOptions{}));
+  const std::string summary_path = bench::GridSummaryPath(config_);
+  TSG_ASSIGN_OR_RETURN(const std::string summary,
+                       io::ReadFileToString(summary_path));
+  io::JsonWriter json;
+  json.BeginObject();
+  json.Key("summary").String(summary_path);
+  json.Key("digest").String(
+      HexU64(base::Fnv64Bytes(summary.data(), summary.size())));
+  json.Key("rows").Int(static_cast<int64_t>(merged.rows.size()));
+  json.Key("failed").Int(static_cast<int64_t>(merged.failures.size()));
+  json.Key("computed").Int(computed);
+  json.EndObject();
+  return AsRawMembers(json);
+}
+
+}  // namespace tsg::serve

@@ -1,0 +1,196 @@
+#include "serve/job_queue.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace tsg::serve {
+
+namespace {
+
+obs::Counter& QueueCounter(const char* name) {
+  return obs::MetricRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kDrained: return "drained";
+  }
+  return "unknown";
+}
+
+bool IsTerminal(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+JobQueue::JobQueue(Limits limits) : limits_(limits) {}
+
+StatusOr<int64_t> JobQueue::Submit(JobSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Status::FailedPrecondition("daemon is draining; not accepting jobs");
+  }
+  int64_t queued = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kQueued) ++queued;
+  }
+  if (queued >= limits_.max_queued) {
+    QueueCounter("serve.queue.rejected").Add();
+    return Status::FailedPrecondition(
+        "job backlog full (" + std::to_string(limits_.max_queued) + " queued)");
+  }
+  JobRecord job;
+  job.id = next_id_++;
+  job.seq = job.id;
+  job.spec = std::move(spec);
+  const int64_t id = job.id;
+  jobs_.emplace(id, std::move(job));
+  QueueCounter("serve.queue.submitted").Add();
+  return id;
+}
+
+int JobQueue::RunningForTenantLocked(const std::string& tenant) const {
+  int n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning && job.spec.tenant == tenant) ++n;
+  }
+  return n;
+}
+
+std::optional<JobRecord> JobQueue::PopRunnable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_ || running_ >= limits_.max_inflight) return std::nullopt;
+  JobRecord* best = nullptr;
+  int best_tenant_running = 0;
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kQueued) continue;
+    const int tenant_running = RunningForTenantLocked(job.spec.tenant);
+    if (tenant_running >= limits_.max_inflight_per_tenant) continue;
+    // Order: priority desc, tenant running asc, seq asc. jobs_ iterates in id
+    // (= seq) order, so a strict improvement check keeps the earliest job on
+    // ties.
+    if (best == nullptr || job.spec.priority > best->spec.priority ||
+        (job.spec.priority == best->spec.priority &&
+         tenant_running < best_tenant_running)) {
+      best = &job;
+      best_tenant_running = tenant_running;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  best->state = JobState::kRunning;
+  ++running_;
+  QueueCounter("serve.queue.started").Add();
+  return *best;
+}
+
+void JobQueue::Complete(int64_t id, const StatusOr<std::string>& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kRunning) return;
+  JobRecord& job = it->second;
+  --running_;
+  if (result.ok()) {
+    job.state = JobState::kDone;
+    job.result_json = result.value();
+    QueueCounter("serve.jobs.done").Add();
+    return;
+  }
+  if (job.cancel_requested) {
+    job.state = JobState::kCancelled;
+    job.error = Status::FailedPrecondition("job cancelled");
+    QueueCounter("serve.jobs.cancelled").Add();
+  } else if (draining_) {
+    job.state = JobState::kDrained;
+    job.error = Status::FailedPrecondition(
+        "daemon drained before the job finished; resubmit to resume");
+    QueueCounter("serve.jobs.drained").Add();
+  } else {
+    job.state = JobState::kFailed;
+    job.error = result.status();
+    QueueCounter("serve.jobs.failed").Add();
+  }
+}
+
+Status JobQueue::Cancel(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  JobRecord& job = it->second;
+  if (IsTerminal(job.state)) {
+    return Status::FailedPrecondition("job " + std::to_string(id) +
+                                      " already " + JobStateName(job.state));
+  }
+  job.cancel_requested = true;
+  if (job.state == JobState::kQueued) {
+    job.state = JobState::kCancelled;
+    job.error = Status::FailedPrecondition("job cancelled");
+    QueueCounter("serve.jobs.cancelled").Add();
+  }
+  return Status::Ok();
+}
+
+bool JobQueue::ShouldStop(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return true;
+  auto it = jobs_.find(id);
+  return it != jobs_.end() && it->second.cancel_requested;
+}
+
+void JobQueue::StartDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return;
+  draining_ = true;
+  for (auto& [id, job] : jobs_) {
+    if (job.state == JobState::kQueued) {
+      job.state = JobState::kDrained;
+      job.error = Status::FailedPrecondition(
+          "daemon drained before the job started; resubmit to resume");
+      QueueCounter("serve.jobs.drained").Add();
+    }
+  }
+}
+
+bool JobQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::optional<JobRecord> JobQueue::Get(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<JobRecord> JobQueue::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
+  return out;
+}
+
+int JobQueue::running_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int64_t JobQueue::queued_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kQueued) ++n;
+  }
+  return n;
+}
+
+}  // namespace tsg::serve

@@ -1,0 +1,242 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "io/json.h"
+#include "io/json_parse.h"
+
+namespace tsg::serve {
+
+namespace {
+
+/// A required string member: present, a string, and non-empty.
+StatusOr<std::string> RequireString(const io::JsonValue& obj,
+                                    const std::string& key) {
+  const io::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string() || v->string_value().empty()) {
+    return Status::InvalidArgument("missing or non-string \"" + key + "\"");
+  }
+  return v->string_value();
+}
+
+StatusOr<std::vector<std::string>> OptionalStringList(const io::JsonValue& obj,
+                                                      const std::string& key) {
+  std::vector<std::string> out;
+  const io::JsonValue* v = obj.Find(key);
+  if (v == nullptr) return out;
+  if (!v->is_array()) {
+    return Status::InvalidArgument("\"" + key + "\" must be an array");
+  }
+  for (const io::JsonValue& item : v->array_items()) {
+    if (!item.is_string() || item.string_value().empty()) {
+      return Status::InvalidArgument("\"" + key +
+                                     "\" must hold non-empty strings");
+    }
+    out.push_back(item.string_value());
+  }
+  return out;
+}
+
+StatusOr<JobSpec> ParseJobSpec(const io::JsonValue& obj) {
+  JobSpec spec;
+  TSG_ASSIGN_OR_RETURN(const std::string kind, RequireString(obj, "kind"));
+  TSG_ASSIGN_OR_RETURN(spec.kind, ParseJobKind(kind));
+  spec.tenant = obj.GetString("tenant", "default");
+  if (spec.tenant.empty()) {
+    return Status::InvalidArgument("\"tenant\" must be non-empty");
+  }
+  spec.priority = obj.GetInt("priority", 0);
+  switch (spec.kind) {
+    case JobKind::kFit:
+    case JobKind::kEvaluate: {
+      TSG_ASSIGN_OR_RETURN(spec.method, RequireString(obj, "method"));
+      TSG_ASSIGN_OR_RETURN(spec.dataset, RequireString(obj, "dataset"));
+      break;
+    }
+    case JobKind::kGenerate: {
+      TSG_ASSIGN_OR_RETURN(spec.method, RequireString(obj, "method"));
+      TSG_ASSIGN_OR_RETURN(spec.dataset, RequireString(obj, "dataset"));
+      spec.count = obj.GetInt("count", 0);
+      if (spec.count <= 0) {
+        return Status::InvalidArgument(
+            "generate requires a positive integer \"count\"");
+      }
+      const int64_t seed = obj.GetInt("gen_seed", 0);
+      if (seed < 0) {
+        return Status::InvalidArgument("\"gen_seed\" must be >= 0");
+      }
+      spec.gen_seed = static_cast<uint64_t>(seed);
+      break;
+    }
+    case JobKind::kGrid: {
+      TSG_ASSIGN_OR_RETURN(spec.methods, OptionalStringList(obj, "methods"));
+      TSG_ASSIGN_OR_RETURN(spec.datasets, OptionalStringList(obj, "datasets"));
+      break;
+    }
+  }
+  return spec;
+}
+
+void EncodeJobSpec(const JobSpec& spec, io::JsonWriter& json) {
+  json.Key("kind").String(JobKindName(spec.kind));
+  json.Key("tenant").String(spec.tenant);
+  json.Key("priority").Int(spec.priority);
+  switch (spec.kind) {
+    case JobKind::kFit:
+    case JobKind::kEvaluate:
+      json.Key("method").String(spec.method);
+      json.Key("dataset").String(spec.dataset);
+      break;
+    case JobKind::kGenerate:
+      json.Key("method").String(spec.method);
+      json.Key("dataset").String(spec.dataset);
+      json.Key("count").Int(spec.count);
+      json.Key("gen_seed").Int(static_cast<int64_t>(spec.gen_seed));
+      break;
+    case JobKind::kGrid:
+      json.Key("methods").BeginArray();
+      for (const std::string& m : spec.methods) json.String(m);
+      json.EndArray();
+      json.Key("datasets").BeginArray();
+      for (const std::string& d : spec.datasets) json.String(d);
+      json.EndArray();
+      break;
+  }
+}
+
+}  // namespace
+
+const char* JobKindName(JobKind kind) {
+  switch (kind) {
+    case JobKind::kFit: return "fit";
+    case JobKind::kGenerate: return "generate";
+    case JobKind::kEvaluate: return "evaluate";
+    case JobKind::kGrid: return "grid";
+  }
+  return "unknown";
+}
+
+StatusOr<JobKind> ParseJobKind(const std::string& name) {
+  if (name == "fit") return JobKind::kFit;
+  if (name == "generate") return JobKind::kGenerate;
+  if (name == "evaluate") return JobKind::kEvaluate;
+  if (name == "grid") return JobKind::kGrid;
+  return Status::InvalidArgument("unknown job kind: " + name);
+}
+
+const char* CmdName(Request::Cmd cmd) {
+  switch (cmd) {
+    case Request::Cmd::kSubmit: return "submit";
+    case Request::Cmd::kStatus: return "status";
+    case Request::Cmd::kResult: return "result";
+    case Request::Cmd::kCancel: return "cancel";
+    case Request::Cmd::kMetrics: return "metrics";
+    case Request::Cmd::kPing: return "ping";
+    case Request::Cmd::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+StatusOr<Request> ParseRequest(const std::string& line) {
+  TSG_ASSIGN_OR_RETURN(const io::JsonValue doc, io::JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  TSG_ASSIGN_OR_RETURN(const std::string cmd, RequireString(doc, "cmd"));
+  Request request;
+  if (cmd == "submit") {
+    request.cmd = Request::Cmd::kSubmit;
+    const io::JsonValue* job = doc.Find("job");
+    if (job == nullptr || !job->is_object()) {
+      return Status::InvalidArgument("submit requires a \"job\" object");
+    }
+    TSG_ASSIGN_OR_RETURN(request.spec, ParseJobSpec(*job));
+    return request;
+  }
+  if (cmd == "status") {
+    request.cmd = Request::Cmd::kStatus;
+    request.job = doc.GetInt("job", -1);
+    return request;
+  }
+  if (cmd == "result" || cmd == "cancel") {
+    request.cmd =
+        cmd == "result" ? Request::Cmd::kResult : Request::Cmd::kCancel;
+    request.job = doc.GetInt("job", -1);
+    if (request.job < 0) {
+      return Status::InvalidArgument(cmd + " requires a \"job\" id");
+    }
+    request.wait = doc.GetBool("wait", false);
+    return request;
+  }
+  if (cmd == "metrics") {
+    request.cmd = Request::Cmd::kMetrics;
+    return request;
+  }
+  if (cmd == "ping") {
+    request.cmd = Request::Cmd::kPing;
+    return request;
+  }
+  if (cmd == "shutdown") {
+    request.cmd = Request::Cmd::kShutdown;
+    return request;
+  }
+  return Status::InvalidArgument("unknown command: " + cmd);
+}
+
+std::string EncodeRequest(const Request& request) {
+  io::JsonWriter json;
+  json.BeginObject();
+  json.Key("cmd").String(CmdName(request.cmd));
+  switch (request.cmd) {
+    case Request::Cmd::kSubmit:
+      json.Key("job").BeginObject();
+      EncodeJobSpec(request.spec, json);
+      json.EndObject();
+      break;
+    case Request::Cmd::kStatus:
+      if (request.job >= 0) json.Key("job").Int(request.job);
+      break;
+    case Request::Cmd::kResult:
+      json.Key("job").Int(request.job);
+      if (request.wait) json.Key("wait").Bool(true);
+      break;
+    case Request::Cmd::kCancel:
+      json.Key("job").Int(request.job);
+      break;
+    case Request::Cmd::kMetrics:
+    case Request::Cmd::kPing:
+    case Request::Cmd::kShutdown:
+      break;
+  }
+  json.EndObject();
+  return json.str();
+}
+
+const char* StatusCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kNumericalError: return "numerical_error";
+  }
+  return "unknown";
+}
+
+std::string ErrorResponse(const Status& status) {
+  io::JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(false);
+  json.Key("code").String(StatusCodeToken(status.code()));
+  json.Key("error").String(status.message());
+  json.EndObject();
+  return json.str();
+}
+
+std::string OkResponse(const std::string& raw_members) {
+  return "{\"ok\":true" + raw_members + "}";
+}
+
+}  // namespace tsg::serve

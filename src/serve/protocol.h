@@ -1,0 +1,92 @@
+#ifndef TSG_SERVE_PROTOCOL_H_
+#define TSG_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace tsg::serve {
+
+/// The tsgd line protocol (DESIGN.md §11): one JSON object per newline-
+/// terminated line in each direction. Requests carry a "cmd" member naming the
+/// operation; every response is an object whose "ok" member is the outcome
+/// (`{"ok":true,...}` / `{"ok":false,"code":"...","error":"..."}`). The wire
+/// format is produced by io::JsonWriter and parsed by io::JsonValue on both
+/// ends, so a codec round trip is exact.
+///
+/// Commands:
+///   {"cmd":"submit","job":{"kind":"fit|generate|evaluate|grid",...}}
+///   {"cmd":"status"}              — queue summary
+///   {"cmd":"status","job":N}      — one job
+///   {"cmd":"result","job":N}      — immediate: error while still queued/running
+///   {"cmd":"result","job":N,"wait":true}  — response deferred until terminal
+///   {"cmd":"cancel","job":N}
+///   {"cmd":"metrics"}             — full obs::MetricRegistry snapshot
+///   {"cmd":"ping"}
+///   {"cmd":"shutdown"}            — ack, then drain and exit
+
+/// What a submitted job runs. fit trains (or store-hits) one model; generate
+/// serves synthetic series from the warm cache; evaluate scores one
+/// (method, dataset) cell through the grid harness; grid runs a whole
+/// checkpointed RunGridShard + merge.
+enum class JobKind { kFit, kGenerate, kEvaluate, kGrid };
+
+const char* JobKindName(JobKind kind);
+StatusOr<JobKind> ParseJobKind(const std::string& name);
+
+/// Payload of a submit command. Which members matter depends on `kind`; the
+/// parser enforces per-kind requirements so a malformed submit fails at the
+/// protocol boundary, not inside a worker.
+struct JobSpec {
+  JobKind kind = JobKind::kGenerate;
+  /// Fairness bucket: the scheduler caps in-flight jobs per tenant and feeds
+  /// starved tenants first (see JobQueue).
+  std::string tenant = "default";
+  /// Higher runs first within the fairness constraints.
+  int64_t priority = 0;
+  std::string method;   ///< fit / generate / evaluate.
+  std::string dataset;  ///< fit / generate / evaluate.
+  int64_t count = 0;    ///< generate: series to sample (> 0).
+  uint64_t gen_seed = 0;  ///< generate: RNG stream seed.
+  std::vector<std::string> methods;   ///< grid (empty = all paper methods).
+  std::vector<std::string> datasets;  ///< grid (empty = all paper datasets).
+};
+
+/// One parsed client request line.
+struct Request {
+  enum class Cmd { kSubmit, kStatus, kResult, kCancel, kMetrics, kPing,
+                   kShutdown };
+  Cmd cmd = Cmd::kPing;
+  JobSpec spec;       ///< submit only.
+  int64_t job = -1;   ///< status (optional) / result / cancel.
+  bool wait = false;  ///< result: defer the response until the job is terminal.
+};
+
+const char* CmdName(Request::Cmd cmd);
+
+/// Parses one request line (the JSON object, without the trailing newline).
+/// InvalidArgument on syntax errors, unknown commands, missing or ill-typed
+/// members, and per-kind spec violations.
+StatusOr<Request> ParseRequest(const std::string& line);
+
+/// Renders `request` as one protocol line (no trailing newline). Inverse of
+/// ParseRequest: Encode(Parse(x)) == Encode(Decode(Encode(x))) — the client CLI
+/// builds its traffic through this, and the codec test round-trips it.
+std::string EncodeRequest(const Request& request);
+
+/// `{"ok":false,"code":<status code name>,"error":<message>}`.
+std::string ErrorResponse(const Status& status);
+
+/// `{"ok":true}` with optional extra members supplied by the caller as a
+/// comma-led raw JSON fragment (e.g. `,"job":3`). The fragment must be valid
+/// JSON members — callers build it with io::JsonWriter or literals.
+std::string OkResponse(const std::string& raw_members = "");
+
+/// Lower-case wire token for a status code ("invalid_argument", ...).
+const char* StatusCodeToken(StatusCode code);
+
+}  // namespace tsg::serve
+
+#endif  // TSG_SERVE_PROTOCOL_H_

@@ -1,6 +1,7 @@
 #ifndef TSG_STORE_SERVING_CACHE_H_
 #define TSG_STORE_SERVING_CACHE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,22 +25,38 @@ namespace tsg::store {
 /// `Generate(count, Rng(seed))` per request — results do not depend on how
 /// requests are grouped or which process served them.
 ///
+/// Residency is bounded: when `max_bytes` is positive, the cache evicts
+/// least-recently-used models until the estimated resident parameter bytes fit
+/// under the cap (the entry just touched is never evicted, so a single model
+/// larger than the cap still serves). Eviction is why GetMethod hands out
+/// shared ownership — an in-flight Generate keeps its model alive after the
+/// cache dropped it, and the memory is reclaimed when the last request
+/// finishes. Evicted models restore again from the store on next use, which is
+/// bit-identical by the Snapshot/Restore contract.
+///
 /// Thread-safe: the method map is mutex-guarded; generation itself runs outside
 /// the lock (fitted methods are const and concurrent-safe per TsgMethod's
 /// contract).
 ///
 /// Telemetry (tsg::obs counters): serving.hits, serving.misses,
-/// serving.requests, serving.series.
+/// serving.evictions, serving.requests, serving.series.
 class ServingCache {
  public:
   /// Serves artifacts from `store` (not owned; must outlive the cache).
-  explicit ServingCache(ArtifactStore* store);
+  /// `max_bytes` caps estimated resident model bytes; <= 0 means unbounded.
+  explicit ServingCache(ArtifactStore* store,
+                        int64_t max_bytes = DefaultMaxBytes());
+
+  /// The byte cap from TSGBENCH_SERVING_CACHE_BYTES, or 0 (unbounded) when the
+  /// variable is unset or unparseable.
+  static int64_t DefaultMaxBytes();
 
   /// The warm method for `key`: restored from the store on first use, cached
-  /// after. Fails when no artifact exists, the artifact is corrupt, or the
-  /// method cannot be rebuilt. The pointer stays valid for the cache's
-  /// lifetime.
-  StatusOr<const core::TsgMethod*> GetMethod(const core::ModelKey& key);
+  /// (and LRU-touched) after. Fails when no artifact exists, the artifact is
+  /// corrupt, or the method cannot be rebuilt. The returned pointer keeps the
+  /// model alive even if the cache evicts it concurrently.
+  StatusOr<std::shared_ptr<const core::TsgMethod>> GetMethod(
+      const core::ModelKey& key);
 
   /// Serves a batch of generation requests against the model for `key`.
   /// Element j holds requests[j].count series, bit-identical to
@@ -52,10 +69,29 @@ class ServingCache {
   /// Number of resident models (for tests and capacity checks).
   size_t size() const;
 
+  /// Estimated bytes of resident model state (sum of Entry::bytes).
+  int64_t resident_bytes() const;
+
+  /// The configured cap (<= 0 = unbounded).
+  int64_t max_bytes() const { return max_bytes_; }
+
  private:
+  struct Entry {
+    std::shared_ptr<const core::TsgMethod> method;
+    int64_t bytes = 0;     ///< Estimated snapshot size (params + config).
+    uint64_t last_use = 0;  ///< LRU clock value of the most recent touch.
+  };
+
+  /// Drops LRU entries until resident bytes fit the cap, never evicting
+  /// `keep`. Caller holds mu_.
+  void EvictLocked(const std::string& keep);
+
   ArtifactStore* store_;
+  const int64_t max_bytes_;
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<core::TsgMethod>> methods_;
+  uint64_t lru_clock_ = 0;
+  int64_t resident_bytes_ = 0;
+  std::map<std::string, Entry> methods_;
 };
 
 }  // namespace tsg::store

@@ -2,6 +2,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include "io/atomic_file.h"
 #include "io/csv.h"
 #include "io/json.h"
+#include "io/json_parse.h"
 #include "io/lease.h"
 #include "io/table.h"
 
@@ -266,6 +268,41 @@ TEST(LeaseTest, ProbeAppliesTtlToForeignHosts) {
   std::filesystem::remove(path);
 }
 
+TEST(LeaseTest, ForeignHostLeaseStealsOnlyAfterTtlExpiry) {
+  const std::string path = TempPath("tsg_lease_foreign_steal.lease");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(AcquireLease(path, "other-host:4242:beef").value());
+
+  // A fresh foreign lease is live under any reasonable TTL, so a cooperating
+  // worker must refuse to steal — the owner cannot be pid-probed.
+  EXPECT_EQ(ProbeLease(path, 3600.0), LeaseState::kLive);
+
+  // Back-date the lease file past the TTL: now the mtime rule declares the
+  // foreign owner dead and the full steal protocol applies.
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() -
+                std::chrono::hours(2));
+  EXPECT_EQ(ProbeLease(path, 3600.0), LeaseState::kDead);
+
+  const auto broke = BreakLease(path, LeaseOwnerToken());
+  ASSERT_TRUE(broke.ok());
+  EXPECT_TRUE(broke.value());
+  ASSERT_TRUE(AcquireLease(path, LeaseOwnerToken()).value());
+  EXPECT_EQ(ProbeLease(path, 3600.0), LeaseState::kLive);  // Ours, alive.
+  ASSERT_TRUE(ReleaseLease(path, LeaseOwnerToken()).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(LeaseTest, UnparseableTokenIsTreatedAsForeign) {
+  const std::string path = TempPath("tsg_lease_garbled.lease");
+  std::filesystem::remove(path);
+  // A token with no host:pid:nonce shape cannot be probed; only TTL applies.
+  ASSERT_TRUE(AcquireLease(path, "not a lease token").value());
+  EXPECT_EQ(ProbeLease(path, 1e9), LeaseState::kLive);
+  EXPECT_EQ(ProbeLease(path, 0.0), LeaseState::kDead);
+  std::filesystem::remove(path);
+}
+
 TEST(LeaseTest, BreakLeaseHandsExactlyOneStealerTheWin) {
   const std::string path = TempPath("tsg_lease_steal.lease");
   std::filesystem::remove(path);
@@ -328,6 +365,102 @@ TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
   JsonWriter json;
   json.BeginArray().Number(std::nan("")).Number(1.0).EndArray();
   EXPECT_EQ(json.str(), "[null,1]");
+}
+
+TEST(JsonParseTest, ParsesEveryValueKind) {
+  const auto doc = JsonValue::Parse(
+      " {\"n\":null,\"t\":true,\"f\":false,\"i\":-42,\"d\":2.5e3,"
+      "\"s\":\"hi\",\"a\":[1,[2]],\"o\":{\"k\":\"v\"}} ");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& v = doc.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_TRUE(v.Find("n")->is_null());
+  EXPECT_TRUE(v.GetBool("t", false));
+  EXPECT_FALSE(v.GetBool("f", true));
+  EXPECT_EQ(v.GetInt("i", 0), -42);
+  EXPECT_EQ(v.GetNumber("d", 0.0), 2500.0);
+  EXPECT_EQ(v.GetString("s", ""), "hi");
+  ASSERT_TRUE(v.Find("a")->is_array());
+  ASSERT_EQ(v.Find("a")->array_items().size(), 2u);
+  EXPECT_EQ(v.Find("a")->array_items()[1].array_items()[0].number_value(), 2.0);
+  EXPECT_EQ(v.Find("o")->GetString("k", ""), "v");
+}
+
+TEST(JsonParseTest, RoundTripsJsonWriterOutput) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("line\nbreak \"quoted\" \\ slash");
+  json.Key("values").BeginArray().Int(7).Number(0.125).Null().EndArray();
+  json.EndObject();
+  const auto doc = JsonValue::Parse(json.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().GetString("name", ""),
+            "line\nbreak \"quoted\" \\ slash");
+  EXPECT_EQ(doc.value().Find("values")->array_items()[1].number_value(), 0.125);
+}
+
+TEST(JsonParseTest, DecodesEscapesAndSurrogatePairs) {
+  const auto doc = JsonValue::Parse(
+      "\"\\u0041\\u00e9\\u20ac\\ud83d\\ude00\\t\\/\"");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // A, e-acute, euro sign, and an emoji through a UTF-16 surrogate pair.
+  EXPECT_EQ(doc.value().string_value(), "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80\t/");
+  // A lone high surrogate is malformed.
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83dx\"").ok());
+}
+
+TEST(JsonParseTest, RejectsNonStrictGrammar) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").ok());   // Trailing comma.
+  EXPECT_FALSE(JsonValue::Parse("[1,2] junk").ok());   // Trailing bytes.
+  EXPECT_FALSE(JsonValue::Parse("{'a':1}").ok());      // Single quotes.
+  EXPECT_FALSE(JsonValue::Parse("NaN").ok());          // No non-finite literals.
+  EXPECT_FALSE(JsonValue::Parse("// c\n1").ok());      // No comments.
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());    // Missing colon.
+  EXPECT_FALSE(JsonValue::Parse("[01]").ok());         // Leading zero.
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("truth").ok());
+}
+
+TEST(JsonParseTest, ReportsByteOffsetOnError) {
+  const auto doc = JsonValue::Parse("{\"ok\":tru}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("at byte"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(JsonParseTest, EnforcesNestingDepthCap) {
+  // 64 levels parse; past the cap is a syntax error, not a stack overflow.
+  const std::string ok(64, '[');
+  ASSERT_TRUE(JsonValue::Parse(ok + std::string(64, ']')).ok());
+  const std::string deep(80, '[');
+  EXPECT_FALSE(JsonValue::Parse(deep + std::string(80, ']')).ok());
+}
+
+TEST(JsonParseTest, TypedLookupsFallBackOnAbsenceAndKindMismatch) {
+  const auto doc =
+      JsonValue::Parse("{\"s\":\"x\",\"i\":3,\"half\":2.5,\"big\":1e300}");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& v = doc.value();
+  EXPECT_EQ(v.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(v.GetString("i", "dflt"), "dflt");  // Kind mismatch.
+  EXPECT_EQ(v.GetInt("s", -1), -1);
+  EXPECT_EQ(v.GetInt("half", -1), -1);  // Non-integral number.
+  EXPECT_EQ(v.GetInt("big", -1), -1);   // Not representable in int64.
+  EXPECT_EQ(v.GetInt("i", -1), 3);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  // Find on a non-object is a graceful nullptr.
+  const auto arr = JsonValue::Parse("[1]");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr.value().Find("k"), nullptr);
+}
+
+TEST(JsonParseTest, DuplicateKeysKeepFirstInFind) {
+  const auto doc = JsonValue::Parse("{\"k\":1,\"k\":2}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().Find("k")->number_value(), 1.0);
+  EXPECT_EQ(doc.value().object_items().size(), 2u);  // Both kept in order.
 }
 
 TEST(TableTest, AlignedRendering) {

@@ -1,0 +1,620 @@
+// Tests for the tsgd daemon substrate (DESIGN.md §11): the line-protocol
+// codec, the JobQueue scheduling policy, and the Server poll loop exercised
+// over a real Unix-domain socket with a scripted JobRunner.
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/json_parse.h"
+#include "serve/bench_runner.h"
+#include "serve/job_queue.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace tsg::serve {
+namespace {
+
+// ---- Protocol codec. ----
+
+TEST(ProtocolTest, SubmitGenerateRoundTrips) {
+  Request request;
+  request.cmd = Request::Cmd::kSubmit;
+  request.spec.kind = JobKind::kGenerate;
+  request.spec.method = "TimeVAE";
+  request.spec.dataset = "DLG";
+  request.spec.count = 8;
+  request.spec.gen_seed = 17;
+  request.spec.tenant = "alice";
+  request.spec.priority = 3;
+
+  const auto parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Request& back = parsed.value();
+  EXPECT_EQ(back.cmd, Request::Cmd::kSubmit);
+  EXPECT_EQ(back.spec.kind, JobKind::kGenerate);
+  EXPECT_EQ(back.spec.method, "TimeVAE");
+  EXPECT_EQ(back.spec.dataset, "DLG");
+  EXPECT_EQ(back.spec.count, 8);
+  EXPECT_EQ(back.spec.gen_seed, 17u);
+  EXPECT_EQ(back.spec.tenant, "alice");
+  EXPECT_EQ(back.spec.priority, 3);
+}
+
+TEST(ProtocolTest, SubmitGridRoundTripsMethodLists) {
+  Request request;
+  request.cmd = Request::Cmd::kSubmit;
+  request.spec.kind = JobKind::kGrid;
+  request.spec.methods = {"TimeVAE", "LS4"};
+  request.spec.datasets = {"DLG", "Stock"};
+
+  const auto parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().spec.kind, JobKind::kGrid);
+  EXPECT_EQ(parsed.value().spec.methods,
+            (std::vector<std::string>{"TimeVAE", "LS4"}));
+  EXPECT_EQ(parsed.value().spec.datasets,
+            (std::vector<std::string>{"DLG", "Stock"}));
+  EXPECT_EQ(parsed.value().spec.tenant, "default");
+}
+
+TEST(ProtocolTest, ControlCommandsRoundTrip) {
+  for (const Request::Cmd cmd :
+       {Request::Cmd::kMetrics, Request::Cmd::kPing, Request::Cmd::kShutdown}) {
+    Request request;
+    request.cmd = cmd;
+    const auto parsed = ParseRequest(EncodeRequest(request));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().cmd, cmd);
+  }
+  Request result;
+  result.cmd = Request::Cmd::kResult;
+  result.job = 42;
+  result.wait = true;
+  const auto parsed = ParseRequest(EncodeRequest(result));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().job, 42);
+  EXPECT_TRUE(parsed.value().wait);
+}
+
+TEST(ProtocolTest, RejectsInvalidRequests) {
+  // Each line is a distinct contract violation the daemon must answer (not
+  // crash on): bad JSON, wrong shapes, missing members, bad values.
+  const char* bad[] = {
+      "not json at all",
+      "[1,2,3]",
+      "{\"cmd\":\"warp\"}",
+      "{\"cmd\":\"submit\"}",
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"warp\"}}",
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"fit\"}}",
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"fit\",\"method\":\"M\"}}",
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"generate\",\"method\":\"M\","
+      "\"dataset\":\"D\"}}",  // Missing count.
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"generate\",\"method\":\"M\","
+      "\"dataset\":\"D\",\"count\":2,\"gen_seed\":-1}}",
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"fit\",\"method\":\"M\","
+      "\"dataset\":\"D\",\"tenant\":\"\"}}",
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"grid\",\"methods\":\"A\"}}",
+      "{\"cmd\":\"result\"}",  // result needs a job id.
+      "{\"cmd\":\"cancel\"}",
+  };
+  for (const char* line : bad) {
+    const auto parsed = ParseRequest(line);
+    EXPECT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(ProtocolTest, ResponsesAreParseableJson) {
+  const auto ok = io::JsonValue::Parse(OkResponse(",\"job\":7"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().GetBool("ok", false));
+  EXPECT_EQ(ok.value().GetInt("job", -1), 7);
+
+  const auto err = io::JsonValue::Parse(
+      ErrorResponse(Status::NotFound("no job 9")));
+  ASSERT_TRUE(err.ok());
+  EXPECT_FALSE(err.value().GetBool("ok", true));
+  EXPECT_EQ(err.value().GetString("code", ""), "not_found");
+  EXPECT_EQ(err.value().GetString("error", ""), "no job 9");
+}
+
+TEST(ProtocolTest, KindAndStateNamesRoundTrip) {
+  for (const JobKind kind : {JobKind::kFit, JobKind::kGenerate,
+                             JobKind::kEvaluate, JobKind::kGrid}) {
+    const auto parsed = ParseJobKind(JobKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(ParseJobKind("warp").ok());
+  EXPECT_STREQ(StatusCodeToken(StatusCode::kFailedPrecondition),
+               "failed_precondition");
+}
+
+// ---- JobQueue policy. ----
+
+JobSpec Spec(const std::string& tenant, int64_t priority = 0) {
+  JobSpec spec;
+  spec.kind = JobKind::kFit;
+  spec.method = "M";
+  spec.dataset = "D";
+  spec.tenant = tenant;
+  spec.priority = priority;
+  return spec;
+}
+
+TEST(JobQueueTest, PopPrefersPriorityThenSubmissionOrder) {
+  JobQueue queue({/*max_inflight=*/4, /*max_inflight_per_tenant=*/4, 64});
+  const int64_t low = queue.Submit(Spec("t", 0)).value();
+  const int64_t high = queue.Submit(Spec("t", 5)).value();
+  const int64_t low2 = queue.Submit(Spec("t", 0)).value();
+
+  EXPECT_EQ(queue.PopRunnable()->id, high);
+  EXPECT_EQ(queue.PopRunnable()->id, low);   // FIFO among equal priorities.
+  EXPECT_EQ(queue.PopRunnable()->id, low2);
+  EXPECT_FALSE(queue.PopRunnable().has_value());
+  EXPECT_EQ(queue.running_count(), 3);
+}
+
+TEST(JobQueueTest, PerTenantCapAndGlobalCapBoundInflight) {
+  JobQueue queue({/*max_inflight=*/2, /*max_inflight_per_tenant=*/1, 64});
+  const int64_t a1 = queue.Submit(Spec("a")).value();
+  const int64_t a2 = queue.Submit(Spec("a")).value();
+  const int64_t b1 = queue.Submit(Spec("b")).value();
+  queue.Submit(Spec("c")).value();
+
+  EXPECT_EQ(queue.PopRunnable()->id, a1);
+  // a is at its per-tenant cap, so b's later submission runs next.
+  EXPECT_EQ(queue.PopRunnable()->id, b1);
+  // Global cap of two in flight: nothing else starts, c included.
+  EXPECT_FALSE(queue.PopRunnable().has_value());
+
+  queue.Complete(a1, std::string(",\"x\":1"));
+  EXPECT_EQ(queue.Get(a1)->state, JobState::kDone);
+  // a freed its slot; a2 and c are both idle tenants now, so FIFO decides.
+  EXPECT_EQ(queue.PopRunnable()->id, a2);
+  EXPECT_FALSE(queue.PopRunnable().has_value());  // Back at the global cap.
+  queue.Complete(b1, std::string(""));
+  const auto next = queue.PopRunnable();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->spec.tenant, "c");
+}
+
+TEST(JobQueueTest, FairnessPrefersTenantWithFewestRunning) {
+  JobQueue queue({/*max_inflight=*/4, /*max_inflight_per_tenant=*/4, 64});
+  const int64_t a1 = queue.Submit(Spec("a")).value();
+  EXPECT_EQ(queue.PopRunnable()->id, a1);  // a now has one running.
+  queue.Submit(Spec("a")).value();         // Earlier seq...
+  const int64_t b1 = queue.Submit(Spec("b")).value();  // ...but b is idle.
+  EXPECT_EQ(queue.PopRunnable()->id, b1);
+}
+
+TEST(JobQueueTest, BacklogLimitRejectsSubmit) {
+  JobQueue queue({2, 2, /*max_queued=*/1});
+  ASSERT_TRUE(queue.Submit(Spec("t")).ok());
+  const auto rejected = queue.Submit(Spec("t"));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(queue.queued_count(), 1);
+}
+
+TEST(JobQueueTest, CancelQueuedResolvesImmediately) {
+  JobQueue queue({2, 2, 64});
+  const int64_t id = queue.Submit(Spec("t")).value();
+  ASSERT_TRUE(queue.Cancel(id).ok());
+  EXPECT_EQ(queue.Get(id)->state, JobState::kCancelled);
+  EXPECT_FALSE(queue.PopRunnable().has_value());
+  // Terminal jobs cannot be re-cancelled; unknown ids are NotFound.
+  EXPECT_EQ(queue.Cancel(id).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(queue.Cancel(999).code(), StatusCode::kNotFound);
+}
+
+TEST(JobQueueTest, CancelRunningFlagsStopAndResolvesThroughComplete) {
+  JobQueue queue({2, 2, 64});
+  const int64_t id = queue.Submit(Spec("t")).value();
+  ASSERT_TRUE(queue.PopRunnable().has_value());
+  EXPECT_FALSE(queue.ShouldStop(id));
+  ASSERT_TRUE(queue.Cancel(id).ok());
+  EXPECT_EQ(queue.Get(id)->state, JobState::kRunning);  // Still running...
+  EXPECT_TRUE(queue.ShouldStop(id));  // ...but told to stop.
+  queue.Complete(id, Status::FailedPrecondition("stopped"));
+  EXPECT_EQ(queue.Get(id)->state, JobState::kCancelled);
+  EXPECT_EQ(queue.running_count(), 0);
+}
+
+TEST(JobQueueTest, CompleteMapsResultsToTerminalStates) {
+  JobQueue queue({4, 4, 64});
+  const int64_t done = queue.Submit(Spec("t")).value();
+  const int64_t failed = queue.Submit(Spec("t")).value();
+  ASSERT_TRUE(queue.PopRunnable().has_value());
+  ASSERT_TRUE(queue.PopRunnable().has_value());
+
+  queue.Complete(done, std::string(",\"answer\":42"));
+  EXPECT_EQ(queue.Get(done)->state, JobState::kDone);
+  EXPECT_EQ(queue.Get(done)->result_json, ",\"answer\":42");
+
+  queue.Complete(failed, Status::Internal("boom"));
+  EXPECT_EQ(queue.Get(failed)->state, JobState::kFailed);
+  EXPECT_EQ(queue.Get(failed)->error.message(), "boom");
+}
+
+TEST(JobQueueTest, DrainFailsQueuedAndStopsRunning) {
+  JobQueue queue({/*max_inflight=*/1, 1, 64});
+  const int64_t running = queue.Submit(Spec("t")).value();
+  const int64_t queued = queue.Submit(Spec("t")).value();
+  ASSERT_TRUE(queue.PopRunnable().has_value());
+
+  queue.StartDrain();
+  EXPECT_TRUE(queue.draining());
+  EXPECT_EQ(queue.Get(queued)->state, JobState::kDrained);
+  EXPECT_TRUE(queue.ShouldStop(running));  // Drain reaches running jobs too.
+  EXPECT_FALSE(queue.PopRunnable().has_value());
+  const auto late = queue.Submit(Spec("t"));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+
+  queue.Complete(running, Status::FailedPrecondition("stopped at checkpoint"));
+  EXPECT_EQ(queue.Get(running)->state, JobState::kDrained);
+}
+
+// ---- Server over a real socket. ----
+
+/// Scripted runner: the job's "method" selects its behavior. "block" spins
+/// until the stop hook fires (a stand-in for a long grid job between
+/// checkpoints); "fail" errors; anything else echoes back immediately.
+class FakeRunner : public JobRunner {
+ public:
+  StatusOr<std::string> Run(
+      const JobSpec& spec,
+      const std::function<bool()>& should_stop) override {
+    started.fetch_add(1);
+    if (spec.method == "block") {
+      while (!should_stop()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Status::FailedPrecondition("stopped at checkpoint");
+    }
+    if (spec.method == "fail") return Status::InvalidArgument("boom");
+    return std::string(",\"echo\":\"" + spec.method + "\"");
+  }
+
+  std::atomic<int> started{0};
+};
+
+/// One blocking client session against the test server.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close(fd_);
+      fd_ = -1;
+      return;
+    }
+    // A wedged test should fail its expectations, not hang ctest.
+    timeval timeout{/*tv_sec=*/20, /*tv_usec=*/0};
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendLine(const std::string& line) {
+    const std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Blocks for the next full response line; empty string on EOF/timeout.
+  std::string ReadLine() {
+    for (;;) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        const std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Send one request, return the parsed response (null kind on failure).
+  io::JsonValue Call(const Request& request) {
+    if (!SendLine(EncodeRequest(request))) return {};
+    const std::string line = ReadLine();
+    auto parsed = io::JsonValue::Parse(line);
+    return parsed.ok() ? parsed.value() : io::JsonValue();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+Request SubmitRequest(const std::string& method,
+                      const std::string& tenant = "default") {
+  Request request;
+  request.cmd = Request::Cmd::kSubmit;
+  request.spec.kind = JobKind::kFit;
+  request.spec.method = method;
+  request.spec.dataset = "D";
+  request.spec.tenant = tenant;
+  return request;
+}
+
+Request ResultRequest(int64_t job, bool wait) {
+  Request request;
+  request.cmd = Request::Cmd::kResult;
+  request.job = job;
+  request.wait = wait;
+  return request;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(JobQueue::Limits limits) {
+    static std::atomic<int> next_socket{0};
+    // Keep the path short: sockaddr_un caps it around 107 bytes.
+    socket_path_ = "/tmp/tsg_serve_test_" + std::to_string(getpid()) + "_" +
+                   std::to_string(next_socket.fetch_add(1)) + ".sock";
+    ServerOptions options;
+    options.socket_path = socket_path_;
+    options.limits = limits;
+    server_ = std::make_unique<Server>(options, &runner_);
+    const Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    serve_thread_ = std::thread([this] { jobs_done_ = server_->Serve(); });
+  }
+
+  void StopServer() {
+    if (server_ != nullptr) server_->RequestStop();
+    if (serve_thread_.joinable()) serve_thread_.join();
+  }
+
+  void TearDown() override {
+    StopServer();
+    server_.reset();
+    std::filesystem::remove(socket_path_);
+  }
+
+  /// Polls job status on `client` until the state matches (or ~10s pass).
+  bool WaitForState(Client& client, int64_t job, const std::string& state) {
+    Request status;
+    status.cmd = Request::Cmd::kStatus;
+    status.job = job;
+    for (int i = 0; i < 2000; ++i) {
+      const io::JsonValue response = client.Call(status);
+      if (response.GetString("state", "") == state) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+
+  FakeRunner runner_;
+  std::string socket_path_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  int64_t jobs_done_ = -1;
+};
+
+TEST_F(ServerTest, PingAndMalformedLines) {
+  StartServer({2, 1, 64});
+  Client client(socket_path_);
+  ASSERT_TRUE(client.connected());
+
+  Request ping;
+  ping.cmd = Request::Cmd::kPing;
+  EXPECT_TRUE(client.Call(ping).GetBool("ok", false));
+
+  ASSERT_TRUE(client.SendLine("this is not json"));
+  const auto error = io::JsonValue::Parse(client.ReadLine());
+  ASSERT_TRUE(error.ok());
+  EXPECT_FALSE(error.value().GetBool("ok", true));
+  EXPECT_EQ(error.value().GetString("code", ""), "invalid_argument");
+
+  // The session survives a malformed line; the next request still works.
+  EXPECT_TRUE(client.Call(ping).GetBool("ok", false));
+}
+
+TEST_F(ServerTest, SubmitWaitDeliversResultAndFailure) {
+  StartServer({2, 2, 64});
+  Client client(socket_path_);
+  ASSERT_TRUE(client.connected());
+
+  const io::JsonValue submitted = client.Call(SubmitRequest("echo-a"));
+  ASSERT_TRUE(submitted.GetBool("ok", false));
+  const int64_t job = submitted.GetInt("job", -1);
+  ASSERT_GE(job, 1);
+
+  const io::JsonValue result = client.Call(ResultRequest(job, /*wait=*/true));
+  EXPECT_TRUE(result.GetBool("ok", false));
+  EXPECT_EQ(result.GetString("state", ""), "done");
+  EXPECT_EQ(result.GetString("echo", ""), "echo-a");  // The runner's payload.
+
+  const io::JsonValue failed_submit = client.Call(SubmitRequest("fail"));
+  ASSERT_TRUE(failed_submit.GetBool("ok", false));
+  const io::JsonValue failure =
+      client.Call(ResultRequest(failed_submit.GetInt("job", -1), true));
+  EXPECT_FALSE(failure.GetBool("ok", true));
+  EXPECT_EQ(failure.GetString("state", ""), "failed");
+  EXPECT_EQ(failure.GetString("code", ""), "invalid_argument");
+  EXPECT_EQ(failure.GetString("error", ""), "boom");
+}
+
+TEST_F(ServerTest, ThreeConcurrentSessionsEachGetTheirResult) {
+  StartServer({/*max_inflight=*/3, /*max_inflight_per_tenant=*/1, 64});
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<int64_t> jobs;
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(std::make_unique<Client>(socket_path_));
+    ASSERT_TRUE(clients.back()->connected());
+    const io::JsonValue submitted = clients.back()->Call(
+        SubmitRequest("echo-" + std::to_string(i), "tenant" + std::to_string(i)));
+    ASSERT_TRUE(submitted.GetBool("ok", false)) << i;
+    jobs.push_back(submitted.GetInt("job", -1));
+  }
+  // All three wait concurrently; each session must get exactly its own job.
+  std::vector<std::thread> waiters;
+  std::vector<std::string> echoes(3);
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&, i] {
+      const io::JsonValue result =
+          clients[i]->Call(ResultRequest(jobs[i], /*wait=*/true));
+      echoes[i] = result.GetString("echo", "");
+    });
+  }
+  for (std::thread& t : waiters) t.join();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(echoes[i], "echo-" + std::to_string(i));
+  }
+}
+
+TEST_F(ServerTest, ResultWithoutWaitOnLiveJobIsFailedPrecondition) {
+  StartServer({1, 1, 64});
+  Client client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  const int64_t job =
+      client.Call(SubmitRequest("block")).GetInt("job", -1);
+  ASSERT_GE(job, 1);
+  ASSERT_TRUE(WaitForState(client, job, "running"));
+
+  const io::JsonValue response = client.Call(ResultRequest(job, false));
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_EQ(response.GetString("code", ""), "failed_precondition");
+
+  const io::JsonValue missing = client.Call(ResultRequest(12345, false));
+  EXPECT_EQ(missing.GetString("code", ""), "not_found");
+
+  // Unblock the runner so TearDown's drain is instant.
+  Request cancel;
+  cancel.cmd = Request::Cmd::kCancel;
+  cancel.job = job;
+  EXPECT_TRUE(client.Call(cancel).GetBool("ok", false));
+  const io::JsonValue final_state = client.Call(ResultRequest(job, true));
+  EXPECT_EQ(final_state.GetString("state", ""), "cancelled");
+}
+
+TEST_F(ServerTest, StatusSummaryCountsQueuedAndRunning) {
+  StartServer({/*max_inflight=*/1, 1, 64});
+  Client client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  const int64_t running =
+      client.Call(SubmitRequest("block")).GetInt("job", -1);
+  ASSERT_TRUE(WaitForState(client, running, "running"));
+  const int64_t queued =
+      client.Call(SubmitRequest("echo-later")).GetInt("job", -1);
+  ASSERT_GE(queued, 1);
+
+  Request status;
+  status.cmd = Request::Cmd::kStatus;
+  const io::JsonValue summary = client.Call(status);
+  EXPECT_TRUE(summary.GetBool("ok", false));
+  EXPECT_EQ(summary.GetInt("running", -1), 1);
+  EXPECT_EQ(summary.GetInt("queued", -1), 1);
+  EXPECT_FALSE(summary.GetBool("draining", true));
+  const io::JsonValue* jobs = summary.Find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->array_items().size(), 2u);
+  EXPECT_EQ(jobs->array_items()[0].GetInt("job", -1), running);
+  EXPECT_EQ(jobs->array_items()[0].GetString("state", ""), "running");
+  EXPECT_EQ(jobs->array_items()[1].GetString("state", ""), "queued");
+
+  Request cancel;
+  cancel.cmd = Request::Cmd::kCancel;
+  cancel.job = running;
+  client.Call(cancel);
+}
+
+TEST_F(ServerTest, DrainStopsRunningJobAndFailsQueuedAsDrained) {
+  StartServer({/*max_inflight=*/1, 1, 64});
+  Client client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  const int64_t running =
+      client.Call(SubmitRequest("block")).GetInt("job", -1);
+  ASSERT_TRUE(WaitForState(client, running, "running"));
+  const int64_t queued =
+      client.Call(SubmitRequest("never-runs")).GetInt("job", -1);
+
+  // Subscribe to both outcomes, then pull the plug. The drain must answer the
+  // waiters — the running job once its stop hook fires, the queued one
+  // immediately — before Serve returns.
+  ASSERT_TRUE(client.SendLine(EncodeRequest(ResultRequest(running, true))));
+  ASSERT_TRUE(client.SendLine(EncodeRequest(ResultRequest(queued, true))));
+  // Responses are answered in order within a session, so a ping round-trip
+  // proves both subscriptions were registered before the stop lands.
+  Request ping;
+  ping.cmd = Request::Cmd::kPing;
+  ASSERT_TRUE(client.Call(ping).GetBool("ok", false));
+  server_->RequestStop();
+
+  std::string state_running, state_queued;
+  for (int i = 0; i < 2; ++i) {
+    const auto parsed = io::JsonValue::Parse(client.ReadLine());
+    ASSERT_TRUE(parsed.ok()) << "drain verdict " << i;
+    const int64_t job = parsed.value().GetInt("job", -1);
+    const std::string state = parsed.value().GetString("state", "");
+    if (job == running) state_running = state;
+    if (job == queued) state_queued = state;
+  }
+  EXPECT_EQ(state_running, "drained");
+  EXPECT_EQ(state_queued, "drained");
+
+  serve_thread_.join();
+  EXPECT_EQ(jobs_done_, 0);  // Neither job completed normally.
+  EXPECT_EQ(runner_.started.load(), 1);  // The queued job never started.
+}
+
+TEST_F(ServerTest, ShutdownCommandAcksThenDrains) {
+  StartServer({2, 1, 64});
+  Client client(socket_path_);
+  ASSERT_TRUE(client.connected());
+  const io::JsonValue done = client.Call(SubmitRequest("echo-z"));
+  ASSERT_TRUE(done.GetBool("ok", false));
+  ASSERT_TRUE(
+      WaitForState(client, done.GetInt("job", -1), "done"));
+
+  Request shutdown;
+  shutdown.cmd = Request::Cmd::kShutdown;
+  const io::JsonValue ack = client.Call(shutdown);
+  EXPECT_TRUE(ack.GetBool("ok", false));
+  EXPECT_TRUE(ack.GetBool("draining", false));
+
+  serve_thread_.join();
+  EXPECT_EQ(jobs_done_, 1);
+  // The socket file is gone once the server object is destroyed.
+  server_.reset();
+  EXPECT_FALSE(std::filesystem::exists(socket_path_));
+}
+
+}  // namespace
+}  // namespace tsg::serve

@@ -1,6 +1,8 @@
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -377,6 +379,117 @@ TEST(ServingCacheTest, MissingArtifactFailsWithNotFound) {
   auto result = cache.Generate(SmallKey(), {{1, 1}});
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+/// One fitted model published under several distinct keys (the store records
+/// the key per artifact, so the same snapshot serves as N cache entries of
+/// equal size — ideal for deterministic LRU arithmetic).
+class ServingCacheEvictionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto method = methods::CreateMethod("LS4");
+    ASSERT_TRUE(method.ok());
+    ASSERT_TRUE(method.value()->Fit(train_, fit_).ok());
+    method_ = std::move(method.value());
+    store_ = std::make_unique<ArtifactStore>(TempStoreDir("serving_lru"));
+    auto snapshot = method_->Snapshot();
+    ASSERT_TRUE(snapshot.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(store_->Save(NthKey(i), snapshot.value()).ok());
+    }
+  }
+
+  ModelKey NthKey(int i) const {
+    ModelKey key = KeyFor(*method_, train_, fit_);
+    key.seed = fit_.seed + i;  // Distinct addresses, identical payloads.
+    return key;
+  }
+
+  /// Estimated resident bytes of one model, measured on an unbounded cache.
+  int64_t OneModelBytes() {
+    ServingCache probe(store_.get(), /*max_bytes=*/0);
+    EXPECT_TRUE(probe.GetMethod(NthKey(0)).ok());
+    return probe.resident_bytes();
+  }
+
+  Dataset train_ = TinyDataset();
+  FitOptions fit_ = QuickFit();
+  std::unique_ptr<core::TsgMethod> method_;
+  std::unique_ptr<ArtifactStore> store_;
+};
+
+TEST_F(ServingCacheEvictionTest, ByteCapEvictsLeastRecentlyUsed) {
+  const int64_t one = OneModelBytes();
+  ASSERT_GT(one, 0);
+  // Room for two resident models, not three.
+  ServingCache cache(store_.get(), /*max_bytes=*/2 * one);
+  const int64_t evictions_before = CounterValue("serving.evictions");
+  const int64_t misses_before = CounterValue("serving.misses");
+
+  ASSERT_TRUE(cache.GetMethod(NthKey(0)).ok());
+  ASSERT_TRUE(cache.GetMethod(NthKey(1)).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(CounterValue("serving.evictions"), evictions_before);
+
+  // Touch 0 so 1 becomes the least recently used, then load 2: 1 must go.
+  ASSERT_TRUE(cache.GetMethod(NthKey(0)).ok());
+  ASSERT_TRUE(cache.GetMethod(NthKey(2)).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.resident_bytes(), cache.max_bytes());
+  EXPECT_EQ(CounterValue("serving.evictions"), evictions_before + 1);
+
+  // 0 and 2 are still warm (no new miss); 1 re-restores from the store.
+  const int64_t misses_now = CounterValue("serving.misses");
+  ASSERT_TRUE(cache.GetMethod(NthKey(0)).ok());
+  ASSERT_TRUE(cache.GetMethod(NthKey(2)).ok());
+  EXPECT_EQ(CounterValue("serving.misses"), misses_now);
+  ASSERT_TRUE(cache.GetMethod(NthKey(1)).ok());
+  EXPECT_EQ(CounterValue("serving.misses"), misses_now + 1);
+  EXPECT_GT(CounterValue("serving.misses"), misses_before);
+}
+
+TEST_F(ServingCacheEvictionTest, EvictedModelServesBitIdenticallyAfterReload) {
+  const int64_t one = OneModelBytes();
+  ServingCache cache(store_.get(), /*max_bytes=*/one);
+  const std::vector<GenRequest> requests = {{2, 31}};
+  auto before = cache.Generate(NthKey(0), requests);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  // Loading key 1 evicts key 0 (cap fits one model).
+  ASSERT_TRUE(cache.GetMethod(NthKey(1)).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  auto after = cache.Generate(NthKey(0), requests);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(SamplesBitEqual(before.value()[0], after.value()[0]));
+}
+
+TEST_F(ServingCacheEvictionTest, SingleModelLargerThanCapStillServes) {
+  // The just-touched entry is exempt from eviction, so a cap smaller than any
+  // model degrades to "at most one resident" rather than thrash-and-fail.
+  ServingCache cache(store_.get(), /*max_bytes=*/1);
+  auto method = cache.GetMethod(NthKey(0));
+  ASSERT_TRUE(method.ok()) << method.status().ToString();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.resident_bytes(), cache.max_bytes());
+  auto result = cache.Generate(NthKey(0), {{1, 9}});
+  EXPECT_TRUE(result.ok());
+
+  // An in-flight shared_ptr keeps an evicted model alive: load another key
+  // (evicting 0) and the old handle still generates.
+  ASSERT_TRUE(cache.GetMethod(NthKey(1)).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  Rng rng(9);
+  EXPECT_EQ(method.value()->Generate(1, rng).size(), 1u);
+}
+
+TEST(ServingCacheTest, UnboundedByDefaultWhenEnvUnset) {
+  // DefaultMaxBytes reads TSGBENCH_SERVING_CACHE_BYTES; the test environment
+  // leaves it unset, which must mean "no cap", never "zero residency".
+  if (std::getenv("TSGBENCH_SERVING_CACHE_BYTES") == nullptr) {
+    EXPECT_EQ(ServingCache::DefaultMaxBytes(), 0);
+  }
+  ArtifactStore store(TempStoreDir("serving_unbounded"));
+  ServingCache cache(&store, /*max_bytes=*/0);
+  EXPECT_EQ(cache.max_bytes(), 0);
 }
 
 // ---- TSGPARAMS strictness (the serialize-layer bugfixes). ----
