@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Verifies every relative link and intra-repo anchor in the core documentation
+# set. Docs are the contract here — README's protocol table, ARCHITECTURE's
+# library map, and MEASURES' per-measure contracts all cross-reference each
+# other and the source tree, and a link that 404s after a rename silently
+# strands the reader. External (http/https/mailto) links are out of scope:
+# checking them makes CI flaky on other people's uptime.
+#
+# Checked per file:
+#   - [text](path)            path exists relative to the file's directory
+#   - [text](path#anchor)     ...and the target file has a heading whose
+#                             GitHub-style slug matches the anchor
+#   - [text](#anchor)         same-file heading anchor
+#
+# Usage: scripts/check_markdown_links.sh [file.md ...]
+# With no arguments, checks the canonical documentation set below.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILES=("$@")
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  FILES=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md
+    docs/ARCHITECTURE.md docs/MEASURES.md)
+fi
+for f in "${FILES[@]}"; do
+  if [[ ! -f "$f" ]]; then
+    echo "error: $f does not exist" >&2
+    exit 1
+  fi
+done
+
+python3 - "${FILES[@]}" <<'EOF'
+import os
+import re
+import sys
+
+# Matches inline links, tolerating one level of nested brackets in the text
+# (e.g. [`code`] or [![badge](...)]). Reference-style links are not used in
+# this repo's docs.
+LINK = re.compile(r"\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugs(path):
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    seen = {}
+    out = set()
+    in_fence = False
+    for line in open(path, encoding="utf-8"):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        text = m.group(2)
+        # Strip inline code/link markup before slugging, as GitHub does.
+        text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+        text = text.replace("`", "")
+        slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+        slug = slug.replace(" ", "-")
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def strip_fences(text):
+    return re.sub(r"^```.*?^```", "", text, flags=re.S | re.M)
+
+
+errors = []
+checked = 0
+for src in sys.argv[1:]:
+    body = strip_fences(open(src, encoding="utf-8").read())
+    for m in LINK.finditer(body):
+        target = m.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        checked += 1
+        path, _, anchor = target.partition("#")
+        resolved = src if not path else os.path.normpath(
+            os.path.join(os.path.dirname(src), path))
+        if not os.path.exists(resolved):
+            errors.append(f"{src}: broken link '{target}' "
+                          f"({resolved} does not exist)")
+            continue
+        if anchor:
+            if not resolved.endswith(".md"):
+                errors.append(f"{src}: anchor on non-markdown target "
+                              f"'{target}'")
+            elif anchor not in slugs(resolved):
+                errors.append(f"{src}: broken anchor '{target}' "
+                              f"(no heading slug '{anchor}' in {resolved})")
+
+if errors:
+    print("\n".join(errors), file=sys.stderr)
+    sys.exit(1)
+print(f"markdown links OK: {checked} intra-repo links verified "
+      f"across {len(sys.argv) - 1} files")
+EOF

@@ -1,5 +1,6 @@
 #include "serve/bench_runner.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "methods/factory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "streameval/stream_evaluator.h"
 
 namespace tsg::serve {
 
@@ -119,29 +121,35 @@ StatusOr<std::string> BenchJobRunner::Run(
     case JobKind::kGenerate: return RunGenerate(spec);
     case JobKind::kEvaluate: return RunEvaluate(spec);
     case JobKind::kGrid: return RunGridJob(spec, should_stop);
+    case JobKind::kStreamEval: return RunStreamEval(spec, should_stop);
   }
   return Status::Internal("unhandled job kind");
+}
+
+StatusOr<bool> BenchJobRunner::EnsureFitted(const std::string& method_name,
+                                            const core::Preprocessed& pre,
+                                            const core::ModelKey& key,
+                                            double* fit_seconds) {
+  if (store_->Load(key).ok()) return false;
+  // Exactly the harness fit path: same FitOptions, same Snapshot/Save, so
+  // the published artifact is byte-identical to one a grid cell would write.
+  TSG_ASSIGN_OR_RETURN(const std::unique_ptr<core::TsgMethod> method,
+                       methods::CreateMethod(method_name));
+  Stopwatch watch;
+  TSG_RETURN_IF_ERROR(method->Fit(pre.train, harness_->options().fit));
+  *fit_seconds += watch.ElapsedSeconds();
+  TSG_ASSIGN_OR_RETURN(const core::MethodSnapshot snapshot, method->Snapshot());
+  TSG_RETURN_IF_ERROR(store_->Save(key, snapshot));
+  return true;
 }
 
 StatusOr<std::string> BenchJobRunner::RunFit(const JobSpec& spec) {
   ServeCounter("serve.jobs.fit").Add();
   TSG_ASSIGN_OR_RETURN(const core::Preprocessed* pre, GetDataset(spec.dataset));
   TSG_ASSIGN_OR_RETURN(const core::ModelKey key, KeyFor(spec.method, *pre));
-  bool trained = false;
   double fit_seconds = 0.0;
-  if (!store_->Load(key).ok()) {
-    // Exactly the harness fit path: same FitOptions, same Snapshot/Save, so
-    // the published artifact is byte-identical to one a grid cell would write.
-    TSG_ASSIGN_OR_RETURN(const std::unique_ptr<core::TsgMethod> method,
-                         methods::CreateMethod(spec.method));
-    Stopwatch watch;
-    TSG_RETURN_IF_ERROR(method->Fit(pre->train, harness_->options().fit));
-    fit_seconds = watch.ElapsedSeconds();
-    TSG_ASSIGN_OR_RETURN(const core::MethodSnapshot snapshot,
-                         method->Snapshot());
-    TSG_RETURN_IF_ERROR(store_->Save(key, snapshot));
-    trained = true;
-  }
+  TSG_ASSIGN_OR_RETURN(const bool trained,
+                       EnsureFitted(spec.method, *pre, key, &fit_seconds));
   io::JsonWriter json;
   json.BeginObject();
   json.Key("model").String(HexU64(store::ArtifactStore::KeyAddress(key)));
@@ -221,6 +229,77 @@ StatusOr<std::string> BenchJobRunner::RunGridJob(
   json.Key("rows").Int(static_cast<int64_t>(merged.rows.size()));
   json.Key("failed").Int(static_cast<int64_t>(merged.failures.size()));
   json.Key("computed").Int(computed);
+  json.EndObject();
+  return AsRawMembers(json);
+}
+
+StatusOr<std::string> BenchJobRunner::RunStreamEval(
+    const JobSpec& spec, const std::function<bool()>& should_stop) {
+  ServeCounter("serve.jobs.stream_eval").Add();
+  TSG_ASSIGN_OR_RETURN(const core::Preprocessed* pre, GetDataset(spec.dataset));
+  TSG_ASSIGN_OR_RETURN(const core::ModelKey key, KeyFor(spec.method, *pre));
+  double fit_seconds = 0.0;
+  TSG_ASSIGN_OR_RETURN(const bool trained,
+                       EnsureFitted(spec.method, *pre, key, &fit_seconds));
+
+  // The streaming reference is the training set — the same set the batch
+  // harness hands the measures as ctx.real, so a full window scores series
+  // against exactly what an evaluate job would.
+  streameval::StreamEvalOptions options;
+  options.window = spec.window;
+  options.metric_prefix = "stream." + spec.tenant;
+  TSG_ASSIGN_OR_RETURN(const std::unique_ptr<streameval::StreamEvaluator> eval,
+                       streameval::StreamEvaluator::Create(pre->train, options));
+
+  // Chunk b regenerates deterministically from seed gen_seed + b, so a given
+  // (spec, chunk) pair always streams identical series no matter which daemon
+  // serves it. On should_stop we shrink the next chunk to land exactly on a
+  // window boundary, flush that last whole window, and report drained=true.
+  bool drained = false;
+  int64_t remaining = spec.count;
+  uint64_t batch_index = 0;
+  while (remaining > 0) {
+    int64_t take = std::min<int64_t>(spec.chunk, remaining);
+    if (should_stop != nullptr && should_stop()) {
+      const int64_t partial = eval->series_seen() % spec.window;
+      const int64_t to_boundary = partial == 0 ? 0 : spec.window - partial;
+      take = std::min<int64_t>(take, to_boundary);
+      drained = true;
+      if (take == 0) break;
+    }
+    std::vector<core::GenRequest> requests(1);
+    requests[0].count = take;
+    requests[0].seed = spec.gen_seed + batch_index;
+    TSG_ASSIGN_OR_RETURN(const std::vector<std::vector<linalg::Matrix>> blocks,
+                         cache_->Generate(key, requests));
+    for (const auto& block : blocks) {
+      TSG_RETURN_IF_ERROR(eval->Update(block));
+    }
+    remaining -= take;
+    ++batch_index;
+    if (drained && eval->series_seen() % spec.window == 0) break;
+  }
+
+  // Attest the exactness contract on whatever window the stream ended with
+  // before handing scores back — a diverged snapshot fails the job.
+  if (eval->window_size() > 0) {
+    TSG_RETURN_IF_ERROR(eval->VerifyExactAgainstBatch());
+  }
+
+  io::JsonWriter json;
+  json.BeginObject();
+  json.Key("series").Int(eval->series_seen());
+  json.Key("windows").Int(eval->windows_completed());
+  json.Key("alarms").Int(eval->alarms_total());
+  json.Key("drained").Bool(drained);
+  json.Key("exact").Bool(true);
+  json.Key("trained").Bool(trained);
+  json.Key("fit_seconds").Number(fit_seconds);
+  json.Key("scores").BeginObject();
+  for (const auto& [measure, score] : eval->last_snapshot()) {
+    json.Key(measure).Number(score);
+  }
+  json.EndObject();
   json.EndObject();
   return AsRawMembers(json);
 }

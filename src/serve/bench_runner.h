@@ -50,6 +50,15 @@ class JobRunner {
 ///              daemon resumes from them byte-identically, and `should_stop`
 ///              stops between cells for drain/cancel. Result: summary path +
 ///              FNV-64 digest of the summary file.
+///   stream_eval — attach a streameval::StreamEvaluator to the tenant's
+///              generate stream: chunked ServingCache generation (chunk b uses
+///              seed gen_seed + b) feeds windowed online measures whose live
+///              values land in the "stream.<tenant>.*" gauges METRICS serves.
+///              `should_stop` drains at the next window boundary — the job
+///              finishes the in-progress window so the last exported snapshot
+///              is whole, then stops. Before reporting, the runner re-checks
+///              the final window with VerifyExactAgainstBatch, so every result
+///              carries a machine-checked exactness attestation.
 ///
 /// Datasets are simulated + preprocessed once per dataset name and shared
 /// across jobs (mutex-guarded cache); harness and stores are built once.
@@ -70,6 +79,15 @@ class BenchJobRunner : public JobRunner {
   StatusOr<std::string> RunEvaluate(const JobSpec& spec);
   StatusOr<std::string> RunGridJob(const JobSpec& spec,
                                    const std::function<bool()>& should_stop);
+  StatusOr<std::string> RunStreamEval(const JobSpec& spec,
+                                      const std::function<bool()>& should_stop);
+
+  /// Trains and publishes the model for `key` unless the store already holds
+  /// it — the shared fit-if-missing path behind fit and stream_eval. Returns
+  /// whether training ran; on training, adds the elapsed time to *fit_seconds.
+  StatusOr<bool> EnsureFitted(const std::string& method,
+                              const core::Preprocessed& pre,
+                              const core::ModelKey& key, double* fit_seconds);
 
   /// The preprocessed dataset for `name`, simulated on first use.
   StatusOr<const core::Preprocessed*> GetDataset(const std::string& name);

@@ -73,6 +73,29 @@ StatusOr<JobSpec> ParseJobSpec(const io::JsonValue& obj) {
       TSG_ASSIGN_OR_RETURN(spec.datasets, OptionalStringList(obj, "datasets"));
       break;
     }
+    case JobKind::kStreamEval: {
+      TSG_ASSIGN_OR_RETURN(spec.method, RequireString(obj, "method"));
+      TSG_ASSIGN_OR_RETURN(spec.dataset, RequireString(obj, "dataset"));
+      spec.count = obj.GetInt("count", 0);
+      if (spec.count <= 0) {
+        return Status::InvalidArgument(
+            "stream_eval requires a positive integer \"count\"");
+      }
+      const int64_t seed = obj.GetInt("gen_seed", 0);
+      if (seed < 0) {
+        return Status::InvalidArgument("\"gen_seed\" must be >= 0");
+      }
+      spec.gen_seed = static_cast<uint64_t>(seed);
+      spec.window = obj.GetInt("window", JobSpec().window);
+      if (spec.window <= 0) {
+        return Status::InvalidArgument("\"window\" must be a positive integer");
+      }
+      spec.chunk = obj.GetInt("chunk", JobSpec().chunk);
+      if (spec.chunk <= 0) {
+        return Status::InvalidArgument("\"chunk\" must be a positive integer");
+      }
+      break;
+    }
   }
   return spec;
 }
@@ -101,6 +124,14 @@ void EncodeJobSpec(const JobSpec& spec, io::JsonWriter& json) {
       for (const std::string& d : spec.datasets) json.String(d);
       json.EndArray();
       break;
+    case JobKind::kStreamEval:
+      json.Key("method").String(spec.method);
+      json.Key("dataset").String(spec.dataset);
+      json.Key("count").Int(spec.count);
+      json.Key("gen_seed").Int(static_cast<int64_t>(spec.gen_seed));
+      json.Key("window").Int(spec.window);
+      json.Key("chunk").Int(spec.chunk);
+      break;
   }
 }
 
@@ -112,6 +143,7 @@ const char* JobKindName(JobKind kind) {
     case JobKind::kGenerate: return "generate";
     case JobKind::kEvaluate: return "evaluate";
     case JobKind::kGrid: return "grid";
+    case JobKind::kStreamEval: return "stream_eval";
   }
   return "unknown";
 }
@@ -121,6 +153,7 @@ StatusOr<JobKind> ParseJobKind(const std::string& name) {
   if (name == "generate") return JobKind::kGenerate;
   if (name == "evaluate") return JobKind::kEvaluate;
   if (name == "grid") return JobKind::kGrid;
+  if (name == "stream_eval") return JobKind::kStreamEval;
   return Status::InvalidArgument("unknown job kind: " + name);
 }
 
@@ -210,6 +243,68 @@ std::string EncodeRequest(const Request& request) {
   }
   json.EndObject();
   return json.str();
+}
+
+const std::vector<VerbInfo>& ClientVerbs() {
+  // Submit kinds first (is_submit = true, verb == JobKindName), then the plain
+  // commands (verb == CmdName). serve_test cross-checks this table against the
+  // JobKind and Request::Cmd enums so a new verb cannot ship without a row.
+  static const std::vector<VerbInfo>* const kVerbs = new std::vector<VerbInfo>{
+      {"fit", "--method=M --dataset=D [--wait]",
+       "train one model (store hit skips training)", true},
+      {"generate", "--method=M --dataset=D --count=N [--gen_seed=S] [--wait]",
+       "sample N series from the warm cache", true},
+      {"evaluate", "--method=M --dataset=D [--wait]",
+       "score one grid cell through the harness", true},
+      {"grid", "[--methods=A,B] [--datasets=X,Y] [--wait]",
+       "run a checkpointed grid shard and merge", true},
+      {"stream_eval",
+       "--method=M --dataset=D --count=N [--gen_seed=S] [--window=W] "
+       "[--chunk=C] [--wait]",
+       "stream generation through windowed quality/drift evaluation", true},
+      {"status", "[--job=N]", "queue summary, or one job's state", false},
+      {"result", "--job=N [--wait]", "fetch a terminal job's result", false},
+      {"cancel", "--job=N", "cancel a queued or running job", false},
+      {"metrics", "", "full metric registry snapshot", false},
+      {"ping", "", "liveness check", false},
+      {"shutdown", "", "ack, then drain and exit", false},
+  };
+  return *kVerbs;
+}
+
+std::string ClientUsage() {
+  std::string out =
+      "usage: tsg_client (--socket=PATH | --port=P) <command> [flags]\n"
+      "\n"
+      "Submit commands (enqueue a job; --tenant=T and --priority=N apply to "
+      "all;\n"
+      "--wait blocks until the job is terminal and prints its result):\n";
+  const std::vector<VerbInfo>& verbs = ClientVerbs();
+  bool in_submit = true;
+  for (const VerbInfo& v : verbs) {
+    if (in_submit && !v.is_submit) {
+      out += "\nQueue and daemon commands:\n";
+      in_submit = false;
+    }
+    out += "  ";
+    out += v.verb;
+    if (v.args[0] != '\0') {
+      out += ' ';
+      out += v.args;
+    }
+    out += "\n      ";
+    out += v.summary;
+    out += "\n";
+  }
+  out +=
+      "\nCommon flags:\n"
+      "  --socket=PATH   connect over the daemon's Unix-domain socket\n"
+      "  --port=P        connect to 127.0.0.1:P instead (exactly one of the "
+      "two)\n"
+      "  --tenant=T      fairness bucket for submits (default \"default\")\n"
+      "  --priority=N    higher runs first within fairness (default 0)\n"
+      "  --help          print this text and exit\n";
+  return out;
 }
 
 const char* StatusCodeToken(StatusCode code) {

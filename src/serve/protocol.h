@@ -17,7 +17,7 @@ namespace tsg::serve {
 /// ends, so a codec round trip is exact.
 ///
 /// Commands:
-///   {"cmd":"submit","job":{"kind":"fit|generate|evaluate|grid",...}}
+///   {"cmd":"submit","job":{"kind":"fit|generate|evaluate|grid|stream_eval",...}}
 ///   {"cmd":"status"}              — queue summary
 ///   {"cmd":"status","job":N}      — one job
 ///   {"cmd":"result","job":N}      — immediate: error while still queued/running
@@ -30,8 +30,10 @@ namespace tsg::serve {
 /// What a submitted job runs. fit trains (or store-hits) one model; generate
 /// serves synthetic series from the warm cache; evaluate scores one
 /// (method, dataset) cell through the grid harness; grid runs a whole
-/// checkpointed RunGridShard + merge.
-enum class JobKind { kFit, kGenerate, kEvaluate, kGrid };
+/// checkpointed RunGridShard + merge; stream_eval streams batched generation
+/// through a streameval::StreamEvaluator, publishing live per-tenant
+/// "stream.<tenant>.*" quality/drift metrics (DESIGN.md §12).
+enum class JobKind { kFit, kGenerate, kEvaluate, kGrid, kStreamEval };
 
 const char* JobKindName(JobKind kind);
 StatusOr<JobKind> ParseJobKind(const std::string& name);
@@ -46,10 +48,12 @@ struct JobSpec {
   std::string tenant = "default";
   /// Higher runs first within the fairness constraints.
   int64_t priority = 0;
-  std::string method;   ///< fit / generate / evaluate.
-  std::string dataset;  ///< fit / generate / evaluate.
-  int64_t count = 0;    ///< generate: series to sample (> 0).
-  uint64_t gen_seed = 0;  ///< generate: RNG stream seed.
+  std::string method;   ///< fit / generate / evaluate / stream_eval.
+  std::string dataset;  ///< fit / generate / evaluate / stream_eval.
+  int64_t count = 0;    ///< generate / stream_eval: series to sample (> 0).
+  uint64_t gen_seed = 0;  ///< generate / stream_eval: RNG stream seed.
+  int64_t window = 64;  ///< stream_eval: series per evaluation window (> 0).
+  int64_t chunk = 16;   ///< stream_eval: series per generation batch (> 0).
   std::vector<std::string> methods;   ///< grid (empty = all paper methods).
   std::vector<std::string> datasets;  ///< grid (empty = all paper datasets).
 };
@@ -86,6 +90,26 @@ std::string OkResponse(const std::string& raw_members = "");
 
 /// Lower-case wire token for a status code ("invalid_argument", ...).
 const char* StatusCodeToken(StatusCode code);
+
+/// One client-facing verb: either a submit job kind (fit, generate, evaluate,
+/// grid, stream_eval — `verb` equals the JobKindName) or a plain command
+/// (status, result, cancel, metrics, ping, shutdown — `verb` equals the wire
+/// CmdName). tsg_client's dispatch, its --help text, and the README protocol
+/// table are all generated from this one table, so they cannot drift from the
+/// parser: a protocol test cross-checks every JobKind and Cmd against it.
+struct VerbInfo {
+  const char* verb;     ///< Client command word == wire token.
+  const char* args;     ///< Flag synopsis ("--method=M --dataset=D [--wait]").
+  const char* summary;  ///< One-line description.
+  bool is_submit;       ///< True when the verb is a JobKind submitted as a job.
+};
+
+/// Every client verb, submit kinds first, in the order help should list them.
+const std::vector<VerbInfo>& ClientVerbs();
+
+/// Multi-line usage text generated from ClientVerbs() — what tsg_client prints
+/// for --help and usage errors.
+std::string ClientUsage();
 
 }  // namespace tsg::serve
 

@@ -31,6 +31,15 @@ void Histogram::AddAll(const std::vector<double>& values) {
   for (double v : values) Add(v);
 }
 
+void Histogram::Remove(double value) {
+  int b = static_cast<int>(std::floor((value - lo_) / width_));
+  b = std::clamp(b, 0, num_bins() - 1);
+  TSG_CHECK_GT(counts_[static_cast<size_t>(b)], 0)
+      << "Remove(" << value << ") from an empty bin " << b;
+  --counts_[static_cast<size_t>(b)];
+  --total_;
+}
+
 double Histogram::bin_lo(int b) const { return lo_ + width_ * b; }
 double Histogram::bin_hi(int b) const { return lo_ + width_ * (b + 1); }
 

@@ -20,6 +20,13 @@ class Histogram {
   void Add(double value);
   void AddAll(const std::vector<double>& values);
 
+  /// Exact inverse of Add for the same value: decrements the bin the value maps
+  /// to. Integer bin counts make removal lossless, which is what lets the
+  /// streaming MDD state (src/streameval) evict expired window samples and stay
+  /// bit-identical to a batch histogram of the surviving ones. It is a checked
+  /// error to remove from an empty bin.
+  void Remove(double value);
+
   int num_bins() const { return static_cast<int>(counts_.size()); }
   int64_t total_count() const { return total_; }
   double bin_lo(int b) const;

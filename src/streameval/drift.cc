@@ -1,0 +1,58 @@
+#include "streameval/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsg::streameval {
+
+PageHinkley::PageHinkley(DriftOptions options) : options_(options) {}
+
+void PageHinkley::Reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m_up_ = 0.0;
+  min_up_ = 0.0;
+  m_dn_ = 0.0;
+  max_dn_ = 0.0;
+}
+
+bool PageHinkley::Observe(double x) {
+  ++n_;
+  mean_ += (x - mean_) / static_cast<double>(n_);
+  // Rising side: cumulative (x - mean - delta); a sustained upward shift keeps
+  // this climbing away from its minimum.
+  m_up_ += x - mean_ - options_.delta;
+  min_up_ = std::min(min_up_, m_up_);
+  // Falling side: cumulative (x - mean + delta) against its maximum.
+  m_dn_ += x - mean_ + options_.delta;
+  max_dn_ = std::max(max_dn_, m_dn_);
+
+  if (n_ < options_.min_samples) return false;
+  const bool alarm = rising() > options_.lambda ||
+                     (options_.two_sided && falling() > options_.lambda);
+  if (alarm) Reset();
+  return alarm;
+}
+
+DriftDetector::DriftDetector(DriftOptions options) : options_(options) {}
+
+DriftDetector::Result DriftDetector::Observe(const std::string& measure,
+                                             double value) {
+  auto [it, inserted] = entries_.try_emplace(measure, options_);
+  Entry& entry = it->second;
+  Result result;
+  if (!entry.has_baseline) {
+    // First window freezes the baseline; the residual below is then zero, so
+    // this observation can never alarm.
+    entry.has_baseline = true;
+    entry.baseline = value;
+  }
+  result.baseline = entry.baseline;
+  result.delta = value - entry.baseline;
+  const double scale = std::max(std::fabs(entry.baseline), options_.eps);
+  result.alarm = entry.ph.Observe(result.delta / scale);
+  if (result.alarm) ++alarms_total_;
+  return result;
+}
+
+}  // namespace tsg::streameval

@@ -1,0 +1,427 @@
+#include "streameval/online_measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "base/thread_pool.h"
+#include "distance/distance.h"
+#include "linalg/decomp.h"
+#include "signal/acf.h"
+#include "stats/descriptive.h"
+
+namespace tsg::streameval {
+namespace {
+
+/// Reference sample paired with stream position p: the stream cycles through
+/// the reference set, so the batch counterpart of a window is the reference
+/// Select()ed at these rotated indices (see StreamEvaluator::WindowDataset).
+int64_t PairIndex(const core::Dataset& reference, int64_t position) {
+  return position % reference.num_samples();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ED / DTW: cache the per-pair distance at Update, re-fold at Snapshot with the
+// batch measure's exact ParallelSum shape (grain 16 / 1). The fold in
+// ParallelMapReduce is strictly index-ordered, so replaying cached values in
+// window order is bit-identical to the batch evaluation.
+// ---------------------------------------------------------------------------
+
+Status OnlineEuclidean::Update(const std::vector<const WindowItem*>& batch) {
+  for (const WindowItem* item : batch) {
+    const Matrix& ref = reference_->sample(PairIndex(*reference_, item->position));
+    cached_.push_back(distance::EuclideanDistance(ref, item->series));
+  }
+  return Status::Ok();
+}
+
+Status OnlineEuclidean::Evict(const WindowItem& /*item*/) {
+  TSG_CHECK(!cached_.empty());
+  cached_.pop_front();
+  return Status::Ok();
+}
+
+StatusOr<double> OnlineEuclidean::Snapshot(const Window& window) const {
+  TSG_CHECK_EQ(static_cast<int64_t>(cached_.size()),
+               static_cast<int64_t>(window.size()));
+  const int64_t pairs = static_cast<int64_t>(window.size());
+  const double total = base::ParallelSum(pairs, 16, [&](int64_t i) {
+    return cached_[static_cast<size_t>(i)];
+  });
+  return total / static_cast<double>(pairs);
+}
+
+Status OnlineDtw::Update(const std::vector<const WindowItem*>& batch) {
+  for (const WindowItem* item : batch) {
+    const Matrix& ref = reference_->sample(PairIndex(*reference_, item->position));
+    cached_.push_back(distance::DtwDistance(ref, item->series));
+  }
+  return Status::Ok();
+}
+
+Status OnlineDtw::Evict(const WindowItem& /*item*/) {
+  TSG_CHECK(!cached_.empty());
+  cached_.pop_front();
+  return Status::Ok();
+}
+
+StatusOr<double> OnlineDtw::Snapshot(const Window& window) const {
+  TSG_CHECK_EQ(static_cast<int64_t>(cached_.size()),
+               static_cast<int64_t>(window.size()));
+  const int64_t pairs = static_cast<int64_t>(window.size());
+  const double total = base::ParallelSum(pairs, 1, [&](int64_t i) {
+    return cached_[static_cast<size_t>(i)];
+  });
+  return total / static_cast<double>(pairs);
+}
+
+// ---------------------------------------------------------------------------
+// MDD: integer bin counts with edges frozen on the reference make the window
+// histograms exactly maintainable under Add/Remove.
+// ---------------------------------------------------------------------------
+
+OnlineMdd::OnlineMdd(std::shared_ptr<const core::Dataset> reference, int num_bins)
+    : reference_(std::move(reference)) {
+  const int64_t n = reference_->num_features();
+  const int64_t l = reference_->seq_len();
+  real_hists_.reserve(static_cast<size_t>(n * l));
+  gen_hists_.reserve(static_cast<size_t>(n * l));
+  for (int64_t cell = 0; cell < n * l; ++cell) {
+    const int64_t j = cell / l;
+    const int64_t t = cell % l;
+    const std::vector<double> real_vals = reference_->FeatureValuesAt(j, t);
+    // Mirrors the batch measure: both sides share edges frozen on the real
+    // values at this cell; the generated-side histogram starts empty.
+    stats::Histogram real_hist = stats::Histogram::FitRange(real_vals, num_bins);
+    gen_hists_.push_back(real_hist);
+    real_hist.AddAll(real_vals);
+    real_hists_.push_back(std::move(real_hist));
+  }
+}
+
+Status OnlineMdd::Update(const std::vector<const WindowItem*>& batch) {
+  const int64_t n = reference_->num_features();
+  const int64_t l = reference_->seq_len();
+  for (const WindowItem* item : batch) {
+    for (int64_t cell = 0; cell < n * l; ++cell) {
+      const int64_t j = cell / l;
+      const int64_t t = cell % l;
+      gen_hists_[static_cast<size_t>(cell)].Add(item->series(t, j));
+    }
+  }
+  return Status::Ok();
+}
+
+Status OnlineMdd::Evict(const WindowItem& item) {
+  const int64_t n = reference_->num_features();
+  const int64_t l = reference_->seq_len();
+  for (int64_t cell = 0; cell < n * l; ++cell) {
+    const int64_t j = cell / l;
+    const int64_t t = cell % l;
+    gen_hists_[static_cast<size_t>(cell)].Remove(item.series(t, j));
+  }
+  return Status::Ok();
+}
+
+StatusOr<double> OnlineMdd::Snapshot(const Window& window) const {
+  const int64_t n = reference_->num_features();
+  const int64_t l = reference_->seq_len();
+  TSG_CHECK_EQ(gen_hists_.empty() ? 0 : gen_hists_[0].total_count(),
+               static_cast<int64_t>(window.size()));
+  const double total = base::ParallelSum(n * l, 8, [&](int64_t cell) {
+    return real_hists_[static_cast<size_t>(cell)].MeanAbsDiff(
+        gen_hists_[static_cast<size_t>(cell)]);
+  });
+  return total / static_cast<double>(n * l);
+}
+
+// ---------------------------------------------------------------------------
+// ACD: per-item ACFs cached at Update; reference mean ACF frozen with the batch
+// measure's 256-sample cap; Snapshot replays the accumulation in window order.
+// ---------------------------------------------------------------------------
+
+OnlineAcd::OnlineAcd(std::shared_ptr<const core::Dataset> reference)
+    : reference_(std::move(reference)) {
+  const int64_t n = reference_->num_features();
+  const int64_t l = reference_->seq_len();
+  max_lag_ = std::min<int64_t>(l - 1, 32);
+  real_acf_.assign(static_cast<size_t>(n * (max_lag_ + 1)), 0.0);
+  // Mirrors the batch measure's mean_acf on the real side exactly: first 256
+  // samples, per-sample ACFs accumulated in sample order, then divided.
+  const int64_t count = std::min<int64_t>(reference_->num_samples(), 256);
+  for (int64_t j = 0; j < n; ++j) {
+    std::vector<double> acc(static_cast<size_t>(max_lag_ + 1), 0.0);
+    for (int64_t i = 0; i < count; ++i) {
+      std::vector<double> col(static_cast<size_t>(l));
+      for (int64_t t = 0; t < l; ++t) {
+        col[static_cast<size_t>(t)] = reference_->sample(i)(t, j);
+      }
+      const std::vector<double> acf = signal::Autocorrelation(col, max_lag_);
+      for (size_t k = 0; k < acf.size(); ++k) acc[k] += acf[k];
+    }
+    for (double& v : acc) v /= static_cast<double>(count);
+    std::copy(acc.begin(), acc.end(),
+              real_acf_.begin() + static_cast<int64_t>(j * (max_lag_ + 1)));
+  }
+}
+
+Status OnlineAcd::Update(const std::vector<const WindowItem*>& batch) {
+  const int64_t n = reference_->num_features();
+  const int64_t l = reference_->seq_len();
+  for (const WindowItem* item : batch) {
+    std::vector<double> acfs(static_cast<size_t>(n * (max_lag_ + 1)));
+    for (int64_t j = 0; j < n; ++j) {
+      std::vector<double> col(static_cast<size_t>(l));
+      for (int64_t t = 0; t < l; ++t) {
+        col[static_cast<size_t>(t)] = item->series(t, j);
+      }
+      const std::vector<double> acf = signal::Autocorrelation(col, max_lag_);
+      std::copy(acf.begin(), acf.end(),
+                acfs.begin() + static_cast<int64_t>(j * (max_lag_ + 1)));
+    }
+    cached_.push_back(std::move(acfs));
+  }
+  return Status::Ok();
+}
+
+Status OnlineAcd::Evict(const WindowItem& /*item*/) {
+  TSG_CHECK(!cached_.empty());
+  cached_.pop_front();
+  return Status::Ok();
+}
+
+StatusOr<double> OnlineAcd::Snapshot(const Window& window) const {
+  TSG_CHECK_EQ(static_cast<int64_t>(cached_.size()),
+               static_cast<int64_t>(window.size()));
+  const int64_t n = reference_->num_features();
+  const int64_t stride = max_lag_ + 1;
+  const int64_t count =
+      std::min<int64_t>(static_cast<int64_t>(window.size()), 256);
+  const double total = base::ParallelSum(n, 1, [&](int64_t j) {
+    std::vector<double> acc(static_cast<size_t>(stride), 0.0);
+    for (int64_t i = 0; i < count; ++i) {
+      const std::vector<double>& acfs = cached_[static_cast<size_t>(i)];
+      for (int64_t k = 0; k <= max_lag_; ++k) {
+        acc[static_cast<size_t>(k)] += acfs[static_cast<size_t>(j * stride + k)];
+      }
+    }
+    for (double& v : acc) v /= static_cast<double>(count);
+    double s = 0.0;
+    for (int64_t k = 1; k <= max_lag_; ++k) {
+      s += std::fabs(real_acf_[static_cast<size_t>(j * stride + k)] -
+                     acc[static_cast<size_t>(k)]);
+    }
+    return s / static_cast<double>(max_lag_);
+  });
+  return total / static_cast<double>(n);
+}
+
+// ---------------------------------------------------------------------------
+// SD / KD: recompute two-pass moments from the retained raw window — exact by
+// construction, since the batch measure is itself a two-pass over the same
+// values in the same (sample, time) order.
+// ---------------------------------------------------------------------------
+
+StatusOr<double> OnlineMomentsDiff::Snapshot(const Window& window) const {
+  const int64_t n = reference_->num_features();
+  const int64_t l = reference_->seq_len();
+  const double total = base::ParallelSum(n, 1, [&](int64_t j) {
+    const auto real_m = stats::ComputeMoments(reference_->FeatureValues(j));
+    std::vector<double> vals;
+    vals.reserve(window.size() * static_cast<size_t>(l));
+    for (const WindowItem& item : window) {
+      for (int64_t t = 0; t < l; ++t) vals.push_back(item.series(t, j));
+    }
+    const auto gen_m = stats::ComputeMoments(vals);
+    return kind_ == Kind::kSkewness
+               ? std::fabs(gen_m.skewness - real_m.skewness)
+               : std::fabs(gen_m.kurtosis - real_m.kurtosis);
+  });
+  return total / static_cast<double>(n);
+}
+
+// ---------------------------------------------------------------------------
+// MMD: windowed-exact recomputation through the identical RbfMmd call.
+// ---------------------------------------------------------------------------
+
+OnlineMmd::OnlineMmd(std::shared_ptr<const core::Dataset> reference)
+    : reference_(std::move(reference)),
+      ref_flat_(reference_->Head(256).Flatten()) {}
+
+StatusOr<double> OnlineMmd::Snapshot(const Window& window) const {
+  const int64_t rows =
+      std::min<int64_t>(static_cast<int64_t>(window.size()), 256);
+  if (ref_flat_.rows() < 2 || rows < 2) {
+    return Status::FailedPrecondition(
+        "MMD needs at least 2 series on each side");
+  }
+  const int64_t l = reference_->seq_len();
+  const int64_t n = reference_->num_features();
+  Matrix gen_flat(rows, l * n);
+  for (int64_t i = 0; i < rows; ++i) {
+    const Matrix& s = window[static_cast<size_t>(i)].series;
+    for (int64_t t = 0; t < l; ++t) {
+      for (int64_t j = 0; j < n; ++j) gen_flat(i, t * n + j) = s(t, j);
+    }
+  }
+  return distance::RbfMmd(ref_flat_, gen_flat, -1.0);
+}
+
+// ---------------------------------------------------------------------------
+// GaussianStats: Welford single-point update + Chan parallel merge.
+// ---------------------------------------------------------------------------
+
+void GaussianStats::Add(const std::vector<double>& x) {
+  const int64_t d = dim();
+  TSG_CHECK_EQ(static_cast<int64_t>(x.size()), d);
+  ++n;
+  std::vector<double> delta(static_cast<size_t>(d));
+  for (int64_t i = 0; i < d; ++i) {
+    delta[static_cast<size_t>(i)] = x[static_cast<size_t>(i)] -
+                                    mean[static_cast<size_t>(i)];
+    mean[static_cast<size_t>(i)] +=
+        delta[static_cast<size_t>(i)] / static_cast<double>(n);
+  }
+  for (int64_t i = 0; i < d; ++i) {
+    const double d2i = x[static_cast<size_t>(i)] - mean[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < d; ++j) {
+      m2[static_cast<size_t>(i * d + j)] +=
+          delta[static_cast<size_t>(j)] * d2i;
+    }
+  }
+}
+
+void GaussianStats::Merge(const GaussianStats& other) {
+  TSG_CHECK_EQ(dim(), other.dim());
+  if (other.n == 0) return;
+  if (n == 0) {
+    *this = other;
+    return;
+  }
+  const int64_t d = dim();
+  const double na = static_cast<double>(n);
+  const double nb = static_cast<double>(other.n);
+  const double nt = na + nb;
+  std::vector<double> delta(static_cast<size_t>(d));
+  for (int64_t i = 0; i < d; ++i) {
+    delta[static_cast<size_t>(i)] =
+        other.mean[static_cast<size_t>(i)] - mean[static_cast<size_t>(i)];
+  }
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      m2[static_cast<size_t>(i * d + j)] +=
+          other.m2[static_cast<size_t>(i * d + j)] +
+          delta[static_cast<size_t>(i)] * delta[static_cast<size_t>(j)] *
+              (na * nb / nt);
+    }
+  }
+  for (int64_t i = 0; i < d; ++i) {
+    mean[static_cast<size_t>(i)] += delta[static_cast<size_t>(i)] * nb / nt;
+  }
+  n += other.n;
+}
+
+Matrix GaussianStats::Covariance() const {
+  TSG_CHECK_GT(n, 1);
+  const int64_t d = dim();
+  Matrix cov(d, d);
+  // The Welford co-moment is symmetric only up to rounding; symmetrize so the
+  // Jacobi-based SqrtSymmetric downstream sees an exactly symmetric operand.
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      cov(i, j) = 0.5 *
+                  (m2[static_cast<size_t>(i * d + j)] +
+                   m2[static_cast<size_t>(j * d + i)]) /
+                  static_cast<double>(n - 1);
+    }
+  }
+  return cov;
+}
+
+StatusOr<double> FrechetFromMoments(const GaussianStats& a,
+                                    const GaussianStats& b, double ridge) {
+  if (a.dim() != b.dim()) {
+    return Status::InvalidArgument("feature dimensions differ");
+  }
+  if (a.n < 2 || b.n < 2) {
+    return Status::FailedPrecondition(
+        "need at least 2 observations per Gaussian");
+  }
+  Matrix cov_a = a.Covariance();
+  Matrix cov_b = b.Covariance();
+  const int64_t d = cov_a.rows();
+  for (int64_t i = 0; i < d; ++i) {
+    cov_a(i, i) += ridge;
+    cov_b(i, i) += ridge;
+  }
+  double mean_term = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = a.mean[static_cast<size_t>(j)] -
+                        b.mean[static_cast<size_t>(j)];
+    mean_term += diff * diff;
+  }
+  // Same symmetrized Tr((C1 C2)^{1/2}) route as distance::FrechetDistance.
+  StatusOr<Matrix> sqrt_a = linalg::SqrtSymmetric(cov_a);
+  if (!sqrt_a.ok()) return sqrt_a.status();
+  const Matrix inner =
+      linalg::MatMul(linalg::MatMul(sqrt_a.value(), cov_b), sqrt_a.value());
+  StatusOr<linalg::EigenResult> eig = linalg::SymmetricEigen(inner);
+  if (!eig.ok()) return eig.status();
+  double trace_sqrt = 0.0;
+  for (double v : eig.value().values) trace_sqrt += std::sqrt(std::max(0.0, v));
+  const double fid =
+      mean_term + linalg::Trace(cov_a) + linalg::Trace(cov_b) - 2.0 * trace_sqrt;
+  return std::max(0.0, fid);
+}
+
+// ---------------------------------------------------------------------------
+// FGD: moment-feature embedding + streaming Gaussians.
+// ---------------------------------------------------------------------------
+
+std::vector<double> OnlineFeatureGaussian::Features(const Matrix& series) {
+  const int64_t l = series.rows();
+  const int64_t n = series.cols();
+  std::vector<double> out(static_cast<size_t>(2 * n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    double mu = 0.0;
+    for (int64_t t = 0; t < l; ++t) mu += series(t, j);
+    mu /= static_cast<double>(l);
+    double m2 = 0.0;
+    for (int64_t t = 0; t < l; ++t) {
+      const double d = series(t, j) - mu;
+      m2 += d * d;
+    }
+    out[static_cast<size_t>(j)] = mu;
+    out[static_cast<size_t>(n + j)] = std::sqrt(m2 / static_cast<double>(l));
+  }
+  return out;
+}
+
+OnlineFeatureGaussian::OnlineFeatureGaussian(
+    std::shared_ptr<const core::Dataset> reference)
+    : reference_(std::move(reference)),
+      ref_stats_(2 * reference_->num_features()),
+      gen_stats_(2 * reference_->num_features()) {
+  for (int64_t i = 0; i < reference_->num_samples(); ++i) {
+    ref_stats_.Add(Features(reference_->sample(i)));
+  }
+}
+
+Status OnlineFeatureGaussian::Update(
+    const std::vector<const WindowItem*>& batch) {
+  // Welford within the batch, Chan merge into the stream accumulator — the
+  // association that makes this state batch-boundary-dependent (and therefore
+  // sampled-tier, not streaming-exact).
+  GaussianStats local(gen_stats_.dim());
+  for (const WindowItem* item : batch) local.Add(Features(item->series));
+  gen_stats_.Merge(local);
+  return Status::Ok();
+}
+
+StatusOr<double> OnlineFeatureGaussian::Snapshot(const Window& /*window*/) const {
+  return FrechetFromMoments(ref_stats_, gen_stats_);
+}
+
+}  // namespace tsg::streameval

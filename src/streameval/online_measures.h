@@ -1,0 +1,265 @@
+#ifndef TSG_STREAMEVAL_ONLINE_MEASURES_H_
+#define TSG_STREAMEVAL_ONLINE_MEASURES_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/dataset.h"
+#include "linalg/matrix.h"
+#include "stats/histogram.h"
+
+namespace tsg::streameval {
+
+using linalg::Matrix;
+
+/// One generated series inside the sliding evaluation window, tagged with its
+/// zero-based position in the overall stream. The position drives reference
+/// pairing for the index-paired distance measures: stream item p is paired with
+/// reference sample p mod R, so an endless stream cycles through the reference
+/// set instead of running off its end.
+struct WindowItem {
+  Matrix series;     ///< (l x N) generated window sample.
+  int64_t position;  ///< Zero-based position in the stream.
+};
+
+/// The sliding window, oldest first. Owned by StreamEvaluator; states receive
+/// it by reference at snapshot time so per-item caches and raw samples always
+/// describe the same set of series.
+using Window = std::deque<WindowItem>;
+
+/// Incremental state for one evaluation measure over a sliding window of
+/// generated series (DESIGN.md §12, docs/MEASURES.md).
+///
+/// Lifecycle: `Update(batch)` folds newly arrived series in (expensive per-item
+/// work — DP tables, ACFs, histogram inserts — happens here, once per item);
+/// `Evict(item)` retires the oldest series when it leaves the window;
+/// `Snapshot(window)` produces the measure value for exactly the series
+/// currently in `window`.
+///
+/// Exactness contract: states report one of two tiers via streaming_exact().
+///  - Streaming-exact: Snapshot is bit-identical to running the batch measure
+///    (src/core/measures.cc) on a dataset holding the window's series, for any
+///    window size, batch slicing, and thread count. This works because the
+///    batch measures reduce with base::ParallelSum — a parallel map with a
+///    strictly index-ordered fold — so replaying identical per-item values in
+///    window order reproduces the batch result bit for bit.
+///  - Sampled / stream-level: Snapshot carries a documented approximation
+///    (e.g. Welford/Chan moment merging whose floating-point result depends on
+///    batch boundaries) and is validated by tolerance, not byte equality.
+class OnlineMeasureState {
+ public:
+  virtual ~OnlineMeasureState() = default;
+  OnlineMeasureState() = default;
+  OnlineMeasureState(const OnlineMeasureState&) = delete;
+  OnlineMeasureState& operator=(const OnlineMeasureState&) = delete;
+
+  /// Stable short name, matching the batch measure's name where one exists
+  /// ("ED", "DTW", "MDD", "ACD", "SD", "KD", "MMD") so report columns line up.
+  virtual std::string name() const = 0;
+
+  /// True when Snapshot is bit-identical to the batch measure on the window.
+  virtual bool streaming_exact() const = 0;
+
+  /// Folds `batch` (newly appended window items, oldest first) into the state.
+  /// Called before the corresponding Evict calls for items the batch displaces.
+  virtual Status Update(const std::vector<const WindowItem*>& batch) = 0;
+
+  /// Retires one item that just left the window (the oldest). States that
+  /// aggregate over the whole stream rather than the window ignore this.
+  virtual Status Evict(const WindowItem& /*item*/) { return Status::Ok(); }
+
+  /// Measure value for the series currently in `window` (oldest first). The
+  /// window is never empty. States must not mutate anything — Snapshot may be
+  /// called repeatedly (live METRICS reads, self-verification).
+  virtual StatusOr<double> Snapshot(const Window& window) const = 0;
+};
+
+/// M11 ED, streaming-exact. Caches one Euclidean distance per window item at
+/// Update; Snapshot re-folds the cached values in window order with the same
+/// ParallelSum shape as the batch measure.
+class OnlineEuclidean : public OnlineMeasureState {
+ public:
+  explicit OnlineEuclidean(std::shared_ptr<const core::Dataset> reference)
+      : reference_(std::move(reference)) {}
+  std::string name() const override { return "ED"; }
+  bool streaming_exact() const override { return true; }
+  Status Update(const std::vector<const WindowItem*>& batch) override;
+  Status Evict(const WindowItem& item) override;
+  StatusOr<double> Snapshot(const Window& window) const override;
+
+ private:
+  std::shared_ptr<const core::Dataset> reference_;
+  std::deque<double> cached_;  ///< Per-item distances, aligned with the window.
+};
+
+/// M12 DTW (dependent, unconstrained band — the batch default), streaming-exact.
+/// The O(l^2) DP table per pair runs once at Update; Snapshot is a cached fold.
+class OnlineDtw : public OnlineMeasureState {
+ public:
+  explicit OnlineDtw(std::shared_ptr<const core::Dataset> reference)
+      : reference_(std::move(reference)) {}
+  std::string name() const override { return "DTW"; }
+  bool streaming_exact() const override { return true; }
+  Status Update(const std::vector<const WindowItem*>& batch) override;
+  Status Evict(const WindowItem& item) override;
+  StatusOr<double> Snapshot(const Window& window) const override;
+
+ private:
+  std::shared_ptr<const core::Dataset> reference_;
+  std::deque<double> cached_;
+};
+
+/// M4 MDD, streaming-exact and truly incremental: per-(feature, step) histogram
+/// bin edges are frozen on the reference at construction (exactly as the batch
+/// measure freezes them on ctx.real), and integer bin counts make Add/Remove
+/// lossless, so the generated-side histograms always equal a from-scratch
+/// histogram of the window. Snapshot is O(n*l*bins) regardless of window size.
+class OnlineMdd : public OnlineMeasureState {
+ public:
+  explicit OnlineMdd(std::shared_ptr<const core::Dataset> reference,
+                     int num_bins = 20);
+  std::string name() const override { return "MDD"; }
+  bool streaming_exact() const override { return true; }
+  Status Update(const std::vector<const WindowItem*>& batch) override;
+  Status Evict(const WindowItem& item) override;
+  StatusOr<double> Snapshot(const Window& window) const override;
+
+ private:
+  std::shared_ptr<const core::Dataset> reference_;
+  std::vector<stats::Histogram> real_hists_;  ///< Frozen reference histograms.
+  std::vector<stats::Histogram> gen_hists_;   ///< Live window histograms.
+};
+
+/// M5 ACD, streaming-exact. Each item's per-feature ACF vector is computed once
+/// at Update and cached; the reference side's mean ACF (capped at the batch
+/// measure's 256 samples) is frozen at construction. Snapshot averages the
+/// cached ACFs of the first min(|window|, 256) items in window order — the
+/// identical sum the batch measure accumulates.
+class OnlineAcd : public OnlineMeasureState {
+ public:
+  explicit OnlineAcd(std::shared_ptr<const core::Dataset> reference);
+  std::string name() const override { return "ACD"; }
+  bool streaming_exact() const override { return true; }
+  Status Update(const std::vector<const WindowItem*>& batch) override;
+  Status Evict(const WindowItem& item) override;
+  StatusOr<double> Snapshot(const Window& window) const override;
+
+ private:
+  std::shared_ptr<const core::Dataset> reference_;
+  int64_t max_lag_;
+  /// real mean ACF per feature, [j * (max_lag_ + 1) + k].
+  std::vector<double> real_acf_;
+  /// Per-item flattened per-feature ACFs, aligned with the window.
+  std::deque<std::vector<double>> cached_;
+};
+
+/// M6 SD / M7 KD, streaming-exact. The reference moments are a frozen
+/// deterministic function of the reference set; the generated side recomputes
+/// two-pass moments from the raw window samples (retained by the evaluator), so
+/// the snapshot equals the batch measure on the window bit for bit. O(W*l*n)
+/// per snapshot — cheap next to the cached-distance states' Update cost.
+class OnlineMomentsDiff : public OnlineMeasureState {
+ public:
+  enum class Kind { kSkewness, kKurtosis };
+  OnlineMomentsDiff(std::shared_ptr<const core::Dataset> reference, Kind kind)
+      : reference_(std::move(reference)), kind_(kind) {}
+  std::string name() const override {
+    return kind_ == Kind::kSkewness ? "SD" : "KD";
+  }
+  bool streaming_exact() const override { return true; }
+  Status Update(const std::vector<const WindowItem*>& /*batch*/) override {
+    return Status::Ok();
+  }
+  StatusOr<double> Snapshot(const Window& window) const override;
+
+ private:
+  std::shared_ptr<const core::Dataset> reference_;
+  Kind kind_;
+};
+
+/// MMD, windowed-exact: Snapshot calls the same distance::RbfMmd (median-
+/// heuristic gamma) on the frozen reference flat matrix (Head(256), as the
+/// batch measure caps it) and the first min(|window|, 256) window series, so it
+/// is bit-identical to the batch measure on the window — but unlike MDD there
+/// is no O(1) incremental core; the kernel sums are recomputed per snapshot.
+/// Needs at least 2 series in the window (the unbiased estimator's minimum).
+class OnlineMmd : public OnlineMeasureState {
+ public:
+  explicit OnlineMmd(std::shared_ptr<const core::Dataset> reference);
+  std::string name() const override { return "MMD"; }
+  bool streaming_exact() const override { return true; }
+  Status Update(const std::vector<const WindowItem*>& /*batch*/) override {
+    return Status::Ok();
+  }
+  StatusOr<double> Snapshot(const Window& window) const override;
+
+ private:
+  std::shared_ptr<const core::Dataset> reference_;
+  Matrix ref_flat_;  ///< reference->Head(256).Flatten(), frozen.
+};
+
+/// Streaming mean/covariance over d-dimensional feature vectors: single-point
+/// Welford updates plus Chan's parallel merge rule, so batches can be
+/// accumulated independently and folded in. Covariance uses the n-1 (sample)
+/// denominator, matching linalg::RowCovariance.
+struct GaussianStats {
+  explicit GaussianStats(int64_t dim = 0)
+      : n(0), mean(static_cast<size_t>(dim), 0.0),
+        m2(static_cast<size_t>(dim * dim), 0.0) {}
+
+  int64_t dim() const { return static_cast<int64_t>(mean.size()); }
+  /// Welford single-observation update.
+  void Add(const std::vector<double>& x);
+  /// Chan merge: after Merge(other), the state equals (up to floating-point
+  /// association) having Add()ed both operands' observations.
+  void Merge(const GaussianStats& other);
+  /// Sample covariance (n-1 denominator) as a dense (d x d) matrix; n >= 2.
+  Matrix Covariance() const;
+
+  int64_t n;
+  std::vector<double> mean;
+  std::vector<double> m2;  ///< Co-moment matrix, row-major (d x d).
+};
+
+/// FGD — feature-Gaussian divergence, the sampled tier. Embeds each series as a
+/// 2N-dim feature vector (per-feature temporal mean and population stddev — the
+/// summary statistics a discriminative critic separates sets by), maintains a
+/// streaming Gaussian over ALL generated series seen (stream-level: Evict is a
+/// no-op, so this tracks lifetime drift rather than the window), and reports
+/// the Frechet distance against a Gaussian frozen on the reference set — the
+/// C-FID formula on moment features instead of learned embeddings.
+///
+/// NOT streaming-exact: Welford/Chan accumulation associates floating-point
+/// sums by batch boundary, so two streams with different chunkings agree only
+/// to ~1e-9 relative error (bounded-error contract, tested by tolerance).
+class OnlineFeatureGaussian : public OnlineMeasureState {
+ public:
+  explicit OnlineFeatureGaussian(std::shared_ptr<const core::Dataset> reference);
+  std::string name() const override { return "FGD"; }
+  bool streaming_exact() const override { return false; }
+  Status Update(const std::vector<const WindowItem*>& batch) override;
+  StatusOr<double> Snapshot(const Window& window) const override;
+
+  /// The per-series feature embedding (exposed for tests).
+  static std::vector<double> Features(const Matrix& series);
+
+ private:
+  std::shared_ptr<const core::Dataset> reference_;
+  GaussianStats ref_stats_;
+  GaussianStats gen_stats_;
+};
+
+/// Frechet distance between two moment-parameterized Gaussians — the
+/// distance::FrechetDistance formula starting from (mean, covariance) instead
+/// of raw embedding rows. Requires both accumulators to hold >= 2 observations.
+StatusOr<double> FrechetFromMoments(const GaussianStats& a,
+                                    const GaussianStats& b,
+                                    double ridge = 1e-6);
+
+}  // namespace tsg::streameval
+
+#endif  // TSG_STREAMEVAL_ONLINE_MEASURES_H_

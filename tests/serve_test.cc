@@ -55,6 +55,40 @@ TEST(ProtocolTest, SubmitGenerateRoundTrips) {
   EXPECT_EQ(back.spec.priority, 3);
 }
 
+TEST(ProtocolTest, SubmitStreamEvalRoundTrips) {
+  Request request;
+  request.cmd = Request::Cmd::kSubmit;
+  request.spec.kind = JobKind::kStreamEval;
+  request.spec.method = "TimeVAE";
+  request.spec.dataset = "DLG";
+  request.spec.count = 96;
+  request.spec.gen_seed = 11;
+  request.spec.window = 24;
+  request.spec.chunk = 5;
+  request.spec.tenant = "alice";
+
+  const auto parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Request& back = parsed.value();
+  EXPECT_EQ(back.spec.kind, JobKind::kStreamEval);
+  EXPECT_EQ(back.spec.method, "TimeVAE");
+  EXPECT_EQ(back.spec.dataset, "DLG");
+  EXPECT_EQ(back.spec.count, 96);
+  EXPECT_EQ(back.spec.gen_seed, 11u);
+  EXPECT_EQ(back.spec.window, 24);
+  EXPECT_EQ(back.spec.chunk, 5);
+  EXPECT_EQ(back.spec.tenant, "alice");
+}
+
+TEST(ProtocolTest, StreamEvalWindowAndChunkDefaultWhenOmitted) {
+  const auto parsed = ParseRequest(
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"stream_eval\","
+      "\"method\":\"M\",\"dataset\":\"D\",\"count\":32}}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().spec.window, JobSpec().window);
+  EXPECT_EQ(parsed.value().spec.chunk, JobSpec().chunk);
+}
+
 TEST(ProtocolTest, SubmitGridRoundTripsMethodLists) {
   Request request;
   request.cmd = Request::Cmd::kSubmit;
@@ -109,6 +143,12 @@ TEST(ProtocolTest, RejectsInvalidRequests) {
       "{\"cmd\":\"submit\",\"job\":{\"kind\":\"fit\",\"method\":\"M\","
       "\"dataset\":\"D\",\"tenant\":\"\"}}",
       "{\"cmd\":\"submit\",\"job\":{\"kind\":\"grid\",\"methods\":\"A\"}}",
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"stream_eval\",\"method\":\"M\","
+      "\"dataset\":\"D\"}}",  // Missing count.
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"stream_eval\",\"method\":\"M\","
+      "\"dataset\":\"D\",\"count\":8,\"window\":0}}",
+      "{\"cmd\":\"submit\",\"job\":{\"kind\":\"stream_eval\",\"method\":\"M\","
+      "\"dataset\":\"D\",\"count\":8,\"chunk\":-3}}",
       "{\"cmd\":\"result\"}",  // result needs a job id.
       "{\"cmd\":\"cancel\"}",
   };
@@ -135,7 +175,8 @@ TEST(ProtocolTest, ResponsesAreParseableJson) {
 
 TEST(ProtocolTest, KindAndStateNamesRoundTrip) {
   for (const JobKind kind : {JobKind::kFit, JobKind::kGenerate,
-                             JobKind::kEvaluate, JobKind::kGrid}) {
+                             JobKind::kEvaluate, JobKind::kGrid,
+                             JobKind::kStreamEval}) {
     const auto parsed = ParseJobKind(JobKindName(kind));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(parsed.value(), kind);
@@ -143,6 +184,52 @@ TEST(ProtocolTest, KindAndStateNamesRoundTrip) {
   EXPECT_FALSE(ParseJobKind("warp").ok());
   EXPECT_STREQ(StatusCodeToken(StatusCode::kFailedPrecondition),
                "failed_precondition");
+}
+
+// The client dispatch, --help text, and README protocol table are all
+// generated from ClientVerbs(); this pins the table to the two enums so a new
+// JobKind or Cmd cannot ship without a client verb (and vice versa).
+TEST(ProtocolTest, ClientVerbTableCoversEveryKindAndCommand) {
+  const std::vector<VerbInfo>& verbs = ClientVerbs();
+  auto find = [&](const std::string& verb) -> const VerbInfo* {
+    for (const VerbInfo& v : verbs)
+      if (verb == v.verb) return &v;
+    return nullptr;
+  };
+
+  // Every JobKind wire token appears exactly once, flagged as a submit verb.
+  for (const JobKind kind : {JobKind::kFit, JobKind::kGenerate,
+                             JobKind::kEvaluate, JobKind::kGrid,
+                             JobKind::kStreamEval}) {
+    const VerbInfo* v = find(JobKindName(kind));
+    ASSERT_NE(v, nullptr) << JobKindName(kind);
+    EXPECT_TRUE(v->is_submit) << v->verb;
+  }
+  // Every client-reachable Cmd (all but kSubmit, which the submit verbs cover)
+  // appears exactly once, flagged as a plain command.
+  for (const Request::Cmd cmd :
+       {Request::Cmd::kStatus, Request::Cmd::kResult, Request::Cmd::kCancel,
+        Request::Cmd::kMetrics, Request::Cmd::kPing, Request::Cmd::kShutdown}) {
+    const VerbInfo* v = find(CmdName(cmd));
+    ASSERT_NE(v, nullptr) << CmdName(cmd);
+    EXPECT_FALSE(v->is_submit) << v->verb;
+  }
+  // Table size pins the other direction: no verb without an enum value.
+  EXPECT_EQ(verbs.size(), 5u + 6u);
+
+  // Submit verbs sort first (ClientUsage renders them as one section), every
+  // verb parses back to its enum, and the usage text mentions each verb.
+  const std::string usage = ClientUsage();
+  bool seen_plain = false;
+  for (const VerbInfo& v : verbs) {
+    if (!v.is_submit) seen_plain = true;
+    EXPECT_FALSE(seen_plain && v.is_submit) << v.verb << " listed after plain";
+    EXPECT_NE(usage.find(v.verb), std::string::npos) << v.verb;
+    EXPECT_NE(usage.find(v.summary), std::string::npos) << v.verb;
+    if (v.is_submit) {
+      EXPECT_TRUE(ParseJobKind(v.verb).ok()) << v.verb;
+    }
+  }
 }
 
 // ---- JobQueue policy. ----

@@ -2,15 +2,10 @@
 // the daemon's Unix-domain socket (or 127.0.0.1:<port>), sends protocol lines
 // built through serve::EncodeRequest, and prints each response line to stdout.
 //
-// Usage:
-//   tsg_client --socket=<path>|--port=<p> <command> [flags]
-// Commands:
-//   fit      --method=M --dataset=D [--tenant=T] [--priority=N] [--wait]
-//   generate --method=M --dataset=D --count=N [--gen_seed=S] [...] [--wait]
-//   evaluate --method=M --dataset=D [--tenant=T] [--priority=N] [--wait]
-//   grid     [--methods=A,B] [--datasets=d1,d2] [--tenant=T] [...] [--wait]
-//   status   [--job=N]      result --job=N [--wait]      cancel --job=N
-//   metrics              ping              shutdown
+// The command set, --help text, and README protocol table all come from
+// serve::ClientVerbs() — one table shared with the wire parser — so this file
+// never lists verbs by hand and cannot drift from the protocol. Run
+// `tsg_client --help` for the full synopsis.
 //
 // --wait on a submit sends {"cmd":"result","wait":true} for the new job and
 // blocks until the daemon answers with the terminal state. Exit status: 0 when
@@ -40,14 +35,8 @@ namespace {
 using tsg::bench::ConsumeFlag;
 using tsg::bench::ConsumeFlagValue;
 
-constexpr const char* kUsage =
-    "tsg_client (--socket=<path> | --port=<p>) "
-    "<fit|generate|evaluate|grid|status|result|cancel|metrics|ping|shutdown> "
-    "[--method=M] [--dataset=D] [--count=N] [--gen_seed=S] [--methods=A,B] "
-    "[--datasets=d1,d2] [--tenant=T] [--priority=N] [--job=N] [--wait]";
-
 int UsageError(const char* message) {
-  std::fprintf(stderr, "%s\nusage: %s\n", message, kUsage);
+  std::fprintf(stderr, "%s\n%s", message, tsg::serve::ClientUsage().c_str());
   return 2;
 }
 
@@ -143,6 +132,10 @@ bool PrintResponse(const std::string& line) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (ConsumeFlag(&argc, argv, "help")) {
+    std::fputs(tsg::serve::ClientUsage().c_str(), stdout);
+    return 0;
+  }
   std::string socket_path;
   std::string port_text;
   std::string value;
@@ -167,6 +160,12 @@ int main(int argc, char** argv) {
   if (ConsumeFlagValue(&argc, argv, "gen_seed", &value)) {
     request.spec.gen_seed = static_cast<uint64_t>(std::atoll(value.c_str()));
   }
+  if (ConsumeFlagValue(&argc, argv, "window", &value)) {
+    request.spec.window = std::atoll(value.c_str());
+  }
+  if (ConsumeFlagValue(&argc, argv, "chunk", &value)) {
+    request.spec.chunk = std::atoll(value.c_str());
+  }
   if (ConsumeFlagValue(&argc, argv, "methods", &value)) {
     request.spec.methods = SplitCsv(value);
   }
@@ -176,17 +175,27 @@ int main(int argc, char** argv) {
   if (ConsumeFlagValue(&argc, argv, "job", &value)) {
     flag_job = std::atoll(value.c_str());
   }
-  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, kUsage)) return 2;
+  if (!tsg::bench::RequireNoUnknownFlags(argc, argv, tsg::serve::ClientUsage()))
+    return 2;
   if (argc != 2) return UsageError("expected exactly one command");
   if (socket_path.empty() == port_text.empty()) {
     return UsageError("pass exactly one of --socket / --port");
   }
 
+  // Dispatch off the shared verb table: submit verbs are JobKind wire tokens,
+  // plain verbs are Cmd wire tokens — so an unlisted command cannot exist.
   const std::string command = argv[1];
-  bool is_submit = false;
-  if (command == "fit" || command == "generate" || command == "evaluate" ||
-      command == "grid") {
-    is_submit = true;
+  const tsg::serve::VerbInfo* verb = nullptr;
+  for (const tsg::serve::VerbInfo& v : tsg::serve::ClientVerbs()) {
+    if (command == v.verb) {
+      verb = &v;
+      break;
+    }
+  }
+  if (verb == nullptr) return UsageError("unknown command");
+
+  bool is_submit = verb->is_submit;
+  if (is_submit) {
     request.cmd = tsg::serve::Request::Cmd::kSubmit;
     const auto kind = tsg::serve::ParseJobKind(command);
     request.spec.kind = kind.value();
@@ -195,8 +204,13 @@ int main(int argc, char** argv) {
     if (command != "grid" && (flag_method.empty() || flag_dataset.empty())) {
       return UsageError("--method and --dataset are required");
     }
-    if (command == "generate" && request.spec.count <= 0) {
+    if ((command == "generate" || command == "stream_eval") &&
+        request.spec.count <= 0) {
       return UsageError("--count must be a positive integer");
+    }
+    if (command == "stream_eval" &&
+        (request.spec.window <= 0 || request.spec.chunk <= 0)) {
+      return UsageError("--window and --chunk must be positive integers");
     }
   } else if (command == "status") {
     request.cmd = tsg::serve::Request::Cmd::kStatus;
@@ -214,10 +228,8 @@ int main(int argc, char** argv) {
     request.cmd = tsg::serve::Request::Cmd::kMetrics;
   } else if (command == "ping") {
     request.cmd = tsg::serve::Request::Cmd::kPing;
-  } else if (command == "shutdown") {
-    request.cmd = tsg::serve::Request::Cmd::kShutdown;
   } else {
-    return UsageError("unknown command");
+    request.cmd = tsg::serve::Request::Cmd::kShutdown;
   }
 
   const int fd = Connect(socket_path, std::atoi(port_text.c_str()));
